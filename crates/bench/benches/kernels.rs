@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the retraining kernels.
+//!
+//! Backs the paper's runtime discussion (Sec. V-B): the difference-based
+//! method costs extra over STE in (a) building the gradient LUTs and
+//! (b) the LUT-indexed backward pass. Measured here:
+//!
+//! * float vs LUT convolution forward;
+//! * LUT backward with STE vs difference-based gradient tables;
+//! * gradient-LUT construction (STE vs difference-based vs raw);
+//! * product-LUT extraction and exhaustive error metrics.
+//!
+//! Run with `cargo bench -p appmult-bench`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use appmult_mult::{ErrorMetrics, Multiplier, TruncatedMultiplier};
+use appmult_nn::layers::{Conv2d, Conv2dSpec};
+use appmult_nn::{Module, Tensor};
+use appmult_retrain::{ApproxConv2d, GradientLut, GradientMode, QuantConfig};
+
+fn ramp(shape: &[usize]) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        (0..n).map(|i| ((i * 31) % 17) as f32 / 8.0 - 1.0).collect(),
+        shape,
+    )
+}
+
+fn conv_pair() -> (Conv2d, ApproxConv2d, ApproxConv2d) {
+    let lut = Arc::new(TruncatedMultiplier::new(8, 8).to_lut());
+    let ste = Arc::new(GradientLut::build(&lut, GradientMode::Ste));
+    let diff = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(16)));
+    let spec = Conv2dSpec::same(8, 16, 3);
+    let float_conv = Conv2d::new(8, 16, 3, 1, 1, 1);
+    let w = float_conv.weight().value.clone();
+    let mk = |g: Arc<GradientLut>| {
+        ApproxConv2d::with_params(
+            spec,
+            w.clone(),
+            Tensor::zeros(&[16]),
+            lut.clone(),
+            g,
+            QuantConfig::default(),
+        )
+    };
+    (float_conv, mk(ste), mk(diff))
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let (mut float_conv, mut ste_conv, _) = conv_pair();
+    let x = ramp(&[2, 8, 12, 12]);
+    let mut group = c.benchmark_group("conv_forward");
+    group.bench_function("float", |b| b.iter(|| float_conv.forward(&x, true)));
+    group.bench_function("lut", |b| b.iter(|| ste_conv.forward(&x, true)));
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let (mut float_conv, mut ste_conv, mut diff_conv) = conv_pair();
+    let x = ramp(&[2, 8, 12, 12]);
+    let g = ramp(&[2, 16, 12, 12]);
+    float_conv.forward(&x, true);
+    ste_conv.forward(&x, true);
+    diff_conv.forward(&x, true);
+    let mut group = c.benchmark_group("conv_backward");
+    group.bench_function("float", |b| b.iter(|| float_conv.backward(&g)));
+    group.bench_function("lut_ste", |b| b.iter(|| ste_conv.backward(&g)));
+    group.bench_function("lut_diff", |b| b.iter(|| diff_conv.backward(&g)));
+    group.finish();
+}
+
+fn bench_gradient_lut_build(c: &mut Criterion) {
+    let lut = TruncatedMultiplier::new(8, 8).to_lut();
+    let mut group = c.benchmark_group("gradient_lut_build_8bit");
+    group.bench_function("ste", |b| {
+        b.iter(|| GradientLut::build(&lut, GradientMode::Ste))
+    });
+    group.bench_function("diff_hws16", |b| {
+        b.iter(|| GradientLut::build(&lut, GradientMode::difference_based(16)))
+    });
+    group.bench_function("raw", |b| {
+        b.iter(|| GradientLut::build(&lut, GradientMode::RawDifference))
+    });
+    group.finish();
+}
+
+fn bench_lut_and_metrics(c: &mut Criterion) {
+    let m = TruncatedMultiplier::new(8, 8);
+    let lut = m.to_lut();
+    let mut group = c.benchmark_group("multiplier_analysis_8bit");
+    group.bench_function("build_product_lut", |b| b.iter(|| m.to_lut()));
+    group.bench_function("exhaustive_error_metrics", |b| {
+        b.iter(|| ErrorMetrics::exhaustive(&lut))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_forward, bench_backward, bench_gradient_lut_build, bench_lut_and_metrics
+}
+criterion_main!(kernels);

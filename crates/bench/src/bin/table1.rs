@@ -1,0 +1,113 @@
+//! Reproduces **Table I**: characteristics of the tested multipliers —
+//! area / delay / power from the calibrated gate-level cost model, and
+//! ER / NMED / MaxED from exhaustive enumeration under a uniform input
+//! distribution (Eq. 2), next to the paper's published values.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p appmult-bench --release --bin table1
+//! cargo run -p appmult-bench --release --bin table1 -- --skip-syn
+//! ```
+//!
+//! `--skip-syn` omits the four `_syn` entries (their ALS runs take a few
+//! seconds each on one core).
+
+use appmult_bench::{markdown_table, write_results, Args};
+use appmult_circuit::CostModel;
+use appmult_mult::zoo::{self, Fidelity};
+use appmult_mult::{ErrorMetrics, Multiplier};
+
+fn main() {
+    let args = Args::from_env();
+    let skip_syn = args.flag("skip-syn");
+    let model = CostModel::asap7();
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "name,fidelity,area_um2,delay_ps,power_uw,er_pct,nmed_pct,max_ed,hws,\
+         paper_area,paper_delay,paper_power,paper_er,paper_nmed,paper_maxed\n",
+    );
+    for name in zoo::names() {
+        if skip_syn && name.contains("_syn") {
+            continue;
+        }
+        eprintln!("[table1] {name}...");
+        let entry = zoo::entry(name).expect("known");
+        let lut = entry.multiplier.to_lut();
+        let metrics = ErrorMetrics::exhaustive(&lut);
+        let (cost, source) = match entry.multiplier.circuit() {
+            Some(c) => (model.estimate(&c), "model"),
+            None => (
+                appmult_circuit::HardwareCost {
+                    area_um2: entry.paper.area_um2,
+                    delay_ps: entry.paper.delay_ps,
+                    power_uw: entry.paper.power_uw,
+                },
+                "paper*",
+            ),
+        };
+        let fidelity = match entry.fidelity {
+            Fidelity::ExactSemantics => "exact",
+            Fidelity::Surrogate => "surrogate",
+            Fidelity::Synthesized => "synthesized",
+        };
+        let hws = entry
+            .paper
+            .hws
+            .map(|h| h.to_string())
+            .unwrap_or_else(|| "N/A".into());
+        rows.push(vec![
+            name.to_string(),
+            fidelity.into(),
+            format!("{:.1} ({})", cost.area_um2, source),
+            format!("{:.1}", cost.delay_ps),
+            format!("{:.2}", cost.power_uw),
+            format!("{:.1} / {:.1}", metrics.er_pct(), entry.paper.er_pct),
+            format!("{:.2} / {:.2}", metrics.nmed_pct(), entry.paper.nmed_pct),
+            format!("{} / {}", metrics.max_ed, entry.paper.max_ed),
+            hws.clone(),
+        ]);
+        csv.push_str(&format!(
+            "{name},{fidelity},{:.2},{:.2},{:.3},{:.2},{:.4},{},{},{:.2},{:.2},{:.3},{:.2},{:.4},{}\n",
+            cost.area_um2,
+            cost.delay_ps,
+            cost.power_uw,
+            metrics.er_pct(),
+            metrics.nmed_pct(),
+            metrics.max_ed,
+            hws,
+            entry.paper.area_um2,
+            entry.paper.delay_ps,
+            entry.paper.power_uw,
+            entry.paper.er_pct,
+            entry.paper.nmed_pct,
+            entry.paper.max_ed,
+        ));
+    }
+
+    println!("\n## Table I — multiplier characteristics (measured / paper)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Multiplier",
+                "Fidelity",
+                "Area um^2",
+                "Delay ps",
+                "Power uW",
+                "ER % (ours/paper)",
+                "NMED % (ours/paper)",
+                "MaxED (ours/paper)",
+                "HWS",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "(paper*) = behavioural-only surrogate: hardware cost taken from the \
+         paper's published row; all error metrics are measured on our LUT."
+    );
+    let path = write_results("table1.csv", &csv);
+    eprintln!("[table1] wrote {}", path.display());
+}

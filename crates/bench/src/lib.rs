@@ -1,0 +1,432 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! One binary per table/figure lives in `src/bin/`:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table I — multiplier area/delay/power + ER/NMED/MaxED + HWS |
+//! | `table2` | Table II — STE vs difference-based retraining accuracy |
+//! | `fig3`   | Fig. 3 — AppMult slice, smoothed slice, both gradients |
+//! | `fig5`   | Fig. 5 — accuracy vs normalized power trade-off |
+//! | `fig6`   | Fig. 6 — top-5 accuracy curves on the CIFAR-100-like task |
+//! | `hws_select` | Table I HWS column — the Sec. V-A selection sweep |
+//!
+//! All experiments run on deterministic synthetic data (see
+//! `appmult-data`) at a CPU-friendly scale by default; pass `--full` for
+//! paper-scale architecture/epoch settings (slow on a laptop).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use appmult_data::{DatasetConfig, SyntheticDataset};
+use appmult_models::{copy_params, resnet, vgg, ConvMode, ModelConfig, ResNetDepth, VggDepth};
+use appmult_mult::zoo::ZooEntry;
+use appmult_mult::{Multiplier, MultiplierLut};
+use appmult_nn::optim::{Adam, StepSchedule};
+use appmult_nn::layers::Sequential;
+use appmult_retrain::{
+    evaluate, retrain, Batch, GradientLut, GradientMode, RetrainConfig, RetrainHistory,
+};
+
+/// Which network family an experiment trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// VGG family (Table II top).
+    Vgg(VggDepth),
+    /// ResNet family (Table II bottom, Figs. 5-6).
+    ResNet(ResNetDepth),
+    /// LeNet (HWS selection proxy).
+    LeNet,
+}
+
+impl ModelKind {
+    /// Builds the model with the given convolution mode.
+    pub fn build(&self, base: &ModelConfig, conv: ConvMode) -> Sequential {
+        let cfg = base.clone().with_conv(conv);
+        match self {
+            ModelKind::Vgg(d) => vgg(*d, &cfg),
+            ModelKind::ResNet(d) => resnet(*d, &cfg),
+            ModelKind::LeNet => appmult_models::lenet5(&cfg),
+        }
+    }
+}
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Dataset configuration.
+    pub data: DatasetConfig,
+    /// Model base configuration (conv mode filled per run).
+    pub model: ModelConfig,
+    /// Float pretraining epochs (Fig. 1: "pre-trained model").
+    pub pretrain_epochs: usize,
+    /// AppMult-aware retraining epochs.
+    pub retrain_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate for pretraining.
+    pub pretrain_lr: f32,
+    /// Learning-rate schedule for retraining.
+    pub schedule: StepSchedule,
+}
+
+impl Scale {
+    /// CPU-scale defaults: 16x16 synthetic CIFAR-10-like data, width-/4
+    /// models, short schedules. Finishes in minutes on one core.
+    pub fn cpu_cifar10() -> Self {
+        Self {
+            data: harder(DatasetConfig::small(10, 64, 48)),
+            model: ModelConfig {
+                num_classes: 10,
+                input_channels: 3,
+                input_hw: (16, 16),
+                width_div: 4,
+                seed: 42,
+                conv: ConvMode::Accurate,
+            },
+            pretrain_epochs: 8,
+            retrain_epochs: 10,
+            batch_size: 32,
+            pretrain_lr: 2e-3,
+            schedule: StepSchedule::new(vec![(1, 1e-3), (5, 5e-4), (8, 2.5e-4)]),
+        }
+    }
+
+    /// CPU-scale CIFAR-100-like settings (Fig. 6).
+    pub fn cpu_cifar100() -> Self {
+        // 100 classes on 16x16 synthetic data: keep the noise moderate so a
+        // width-scaled ResNet can actually learn the task.
+        let mut data = DatasetConfig::small(100, 16, 4);
+        data.noise = 0.55;
+        data.max_shift = 3;
+        Self {
+            data,
+            model: ModelConfig {
+                num_classes: 100,
+                input_channels: 3,
+                input_hw: (16, 16),
+                width_div: 16,
+                seed: 42,
+                conv: ConvMode::Accurate,
+            },
+            pretrain_epochs: 10,
+            retrain_epochs: 8,
+            batch_size: 40,
+            pretrain_lr: 2e-3,
+            schedule: StepSchedule::new(vec![(1, 1e-3), (6, 5e-4)]),
+        }
+    }
+
+    /// Paper-scale settings: 32x32 data, full-width models, the paper's
+    /// 30-epoch schedule. Only practical on a beefy machine.
+    pub fn paper_cifar10() -> Self {
+        Self {
+            data: DatasetConfig::cifar10_like(500, 100),
+            model: ModelConfig::cifar10(),
+            pretrain_epochs: 30,
+            retrain_epochs: 30,
+            batch_size: 64,
+            pretrain_lr: 1e-3,
+            schedule: StepSchedule::paper_default(),
+        }
+    }
+}
+
+/// Raises the noise/jitter of a dataset so accuracies land mid-range
+/// (a saturated task cannot separate gradient rules).
+fn harder(mut cfg: DatasetConfig) -> DatasetConfig {
+    cfg.noise = 1.15;
+    cfg.max_shift = 4;
+    cfg
+}
+
+/// Pre-generated batches for one experiment.
+pub struct Workload {
+    /// Training batches.
+    pub train: Vec<Batch>,
+    /// Test batches.
+    pub test: Vec<Batch>,
+}
+
+impl Workload {
+    /// Generates the dataset and batches of a scale.
+    pub fn generate(scale: &Scale) -> Self {
+        let data = SyntheticDataset::generate(&scale.data);
+        Self {
+            train: data.train_batches(scale.batch_size),
+            test: data.test_batches(scale.batch_size),
+        }
+    }
+}
+
+/// Pretrains a float (accurate) model per the Fig. 1 flow, returning the
+/// trained model and its float test accuracy.
+pub fn pretrain_float(kind: ModelKind, scale: &Scale, workload: &Workload) -> (Sequential, f64) {
+    let mut model = kind.build(&scale.model, ConvMode::Accurate);
+    let mut opt = Adam::new(scale.pretrain_lr);
+    let cfg = RetrainConfig {
+        epochs: scale.pretrain_epochs,
+        schedule: StepSchedule::new(vec![(1, scale.pretrain_lr)]),
+        eval_every: usize::MAX,
+    };
+    let history = retrain(&mut model, &mut opt, &cfg, &workload.train, &workload.test);
+    let top1 = history.final_top1();
+    (model, top1)
+}
+
+/// Result of retraining one (multiplier, gradient mode) pair.
+#[derive(Debug, Clone)]
+pub struct RetrainOutcome {
+    /// Top-1 accuracy of the quantized AppMult model before retraining
+    /// (Table II "initial accuracy").
+    pub initial_top1: f64,
+    /// Full retraining history.
+    pub history: RetrainHistory,
+}
+
+impl RetrainOutcome {
+    /// Final top-1 accuracy in percent.
+    pub fn final_pct(&self) -> f64 {
+        self.history.final_top1() * 100.0
+    }
+
+    /// Initial accuracy in percent.
+    pub fn initial_pct(&self) -> f64 {
+        self.initial_top1 * 100.0
+    }
+}
+
+/// Converts the pretrained float model to the AppMult version (transplanting
+/// weights), measures initial accuracy, and retrains with `mode`.
+pub fn retrain_with_multiplier(
+    kind: ModelKind,
+    scale: &Scale,
+    workload: &Workload,
+    pretrained: &mut Sequential,
+    lut: &Arc<MultiplierLut>,
+    mode: GradientMode,
+) -> RetrainOutcome {
+    let grads = Arc::new(GradientLut::build(lut, mode));
+    let conv = ConvMode::approximate(lut.clone(), grads);
+    let mut model = kind.build(&scale.model, conv);
+    copy_params(pretrained, &mut model);
+    let (initial_top1, _) = evaluate(&mut model, &workload.test);
+    let mut opt = Adam::new(1e-3);
+    let cfg = RetrainConfig {
+        epochs: scale.retrain_epochs,
+        schedule: scale.schedule.clone(),
+        eval_every: 1,
+    };
+    let history = retrain(&mut model, &mut opt, &cfg, &workload.train, &workload.test);
+    RetrainOutcome {
+        initial_top1,
+        history,
+    }
+}
+
+/// STE-vs-ours comparison row for one multiplier (one Table II line).
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Multiplier name.
+    pub name: String,
+    /// Initial (pre-retraining) accuracy, percent.
+    pub initial_pct: f64,
+    /// Accuracy after STE retraining, percent.
+    pub ste_pct: f64,
+    /// Accuracy after difference-based retraining, percent.
+    pub ours_pct: f64,
+    /// Normalized power (to mul8u_acc) of the multiplier.
+    pub norm_power: f64,
+    /// Normalized delay (to mul8u_acc).
+    pub norm_delay: f64,
+    /// NMED in percent (measured).
+    pub nmed_pct: f64,
+}
+
+impl ComparisonRow {
+    /// `ours - STE` improvement in accuracy points.
+    pub fn improvement(&self) -> f64 {
+        self.ours_pct - self.ste_pct
+    }
+}
+
+/// Selects the half window size for a multiplier with the paper's Sec. V-A
+/// procedure: short LeNet proxy retrainings on the same workload, smallest
+/// final training loss wins.
+pub fn select_hws_by_proxy(
+    lut: &Arc<MultiplierLut>,
+    scale: &Scale,
+    workload: &Workload,
+    pretrained_lenet: &mut Sequential,
+) -> appmult_retrain::HwsSelection {
+    let mut proxy_scale = scale.clone();
+    proxy_scale.retrain_epochs = 2;
+    let candidates = appmult_retrain::candidates_for_bits(lut.bits());
+    appmult_retrain::select_hws(&candidates, |hws| {
+        let outcome = retrain_with_multiplier(
+            ModelKind::LeNet,
+            &proxy_scale,
+            workload,
+            pretrained_lenet,
+            lut,
+            GradientMode::difference_based(hws),
+        );
+        outcome.history.final_train_loss()
+    })
+}
+
+/// Runs the full STE-vs-ours comparison for one zoo entry on a shared
+/// pretrained model, using the given half window size for the
+/// difference-based gradient.
+pub fn compare_entry(
+    kind: ModelKind,
+    scale: &Scale,
+    workload: &Workload,
+    pretrained: &mut Sequential,
+    entry: &ZooEntry,
+    hws: u32,
+) -> ComparisonRow {
+    let lut = Arc::new(entry.multiplier.to_lut());
+    let metrics = appmult_mult::ErrorMetrics::exhaustive(&lut);
+    let ste = retrain_with_multiplier(kind, scale, workload, pretrained, &lut, GradientMode::Ste);
+    let ours = retrain_with_multiplier(
+        kind,
+        scale,
+        workload,
+        pretrained,
+        &lut,
+        GradientMode::difference_based(hws),
+    );
+    let (power, delay) = hardware_normalized(entry);
+    ComparisonRow {
+        name: entry.name.to_string(),
+        initial_pct: ste.initial_pct(),
+        ste_pct: ste.final_pct(),
+        ours_pct: ours.final_pct(),
+        norm_power: power,
+        norm_delay: delay,
+        nmed_pct: metrics.nmed_pct(),
+    }
+}
+
+/// Normalized (power, delay) of a zoo entry relative to `mul8u_acc`.
+///
+/// Entries with a gate-level netlist are costed with the calibrated
+/// ASAP7-like model; behavioural-only surrogates fall back to the paper's
+/// published values (marked in Table I output).
+pub fn hardware_normalized(entry: &ZooEntry) -> (f64, f64) {
+    let reference = appmult_circuit::CostModel::asap7()
+        .estimate(&appmult_circuit::MultiplierCircuit::array(8));
+    match entry.multiplier.circuit() {
+        Some(circuit) => {
+            let cost = appmult_circuit::CostModel::asap7().estimate(&circuit);
+            (
+                cost.power_uw / reference.power_uw,
+                cost.delay_ps / reference.delay_ps,
+            )
+        }
+        None => (
+            entry.paper.power_uw / 22.93,
+            entry.paper.delay_ps / 730.1,
+        ),
+    }
+}
+
+/// Minimal CLI flag reader: `--flag` presence and `--key value` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn from_env() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit list (for tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// Whether `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == &format!("--{name}"))
+    }
+
+    /// The value following `--name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let key = format!("--{name}");
+        self.raw
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    /// Parsed value following `--name`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Writes `contents` under `results/` (created on demand), returning the path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_results(file: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(file);
+    std::fs::write(&path, contents).expect("write results file");
+    path
+}
+
+/// Renders a markdown table from a header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("| {} |\n", header.join(" | ")));
+    s.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        s.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_values() {
+        let a = Args::from_vec(vec![
+            "--full".into(),
+            "--epochs".into(),
+            "7".into(),
+        ]);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get_or("epochs", 3usize), 7);
+        assert_eq!(a.get_or("batch", 32usize), 32);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn cpu_scale_workload_generates() {
+        let scale = Scale::cpu_cifar10();
+        let w = Workload::generate(&scale);
+        assert!(!w.train.is_empty() && !w.test.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Greedy approximate logic synthesis (ALS).
+//!
+//! Generates the `_syn` multipliers of the paper's Table I. The paper uses
+//! ALSRAC (approximate logic synthesis by resubstitution with approximate
+//! care sets); this module implements the same class of netlist rewrites —
+//! replacing an internal signal by a constant or by another existing signal —
+//! under an exhaustive NMED budget, accepting the cheapest-error rewrites
+//! first. The resulting LUTs are irregular in the same way synthesized
+//! approximate multipliers are, which is the property that stresses the
+//! gradient approximation.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::arith::MultiplierCircuit;
+use crate::netlist::{Netlist, Signal};
+
+/// Configuration of the greedy ALS pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlsConfig {
+    /// NMED budget as a fraction of `2^(2B) - 1` (e.g. `0.0028` for 0.28%).
+    pub nmed_budget: f64,
+    /// RNG seed for wire-substitution candidate sampling.
+    pub seed: u64,
+    /// Maximum number of accepted rewrites.
+    pub max_rewrites: usize,
+    /// Number of earlier signals sampled per gate as substitution candidates.
+    pub substitution_samples: usize,
+}
+
+impl Default for AlsConfig {
+    fn default() -> Self {
+        Self {
+            nmed_budget: 0.003,
+            seed: 0xA15,
+            max_rewrites: 256,
+            substitution_samples: 12,
+        }
+    }
+}
+
+/// One accepted netlist rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlsRewrite {
+    /// Gate output tied to a constant.
+    Constant {
+        /// The rewritten gate.
+        gate: Signal,
+        /// The constant value it was tied to.
+        value: bool,
+    },
+    /// Gate output replaced by another existing signal.
+    Substitute {
+        /// The rewritten gate.
+        gate: Signal,
+        /// The signal now driving its fanout.
+        with: Signal,
+    },
+}
+
+/// Result of [`synthesize`].
+#[derive(Debug, Clone)]
+pub struct AlsOutcome {
+    /// The approximated multiplier circuit.
+    pub circuit: MultiplierCircuit,
+    /// Accepted rewrites in application order.
+    pub rewrites: Vec<AlsRewrite>,
+    /// Final NMED (fraction of `2^(2B) - 1`).
+    pub nmed: f64,
+    /// Live physical gates before synthesis.
+    pub gates_before: usize,
+    /// Live physical gates after synthesis.
+    pub gates_after: usize,
+}
+
+/// NMED of a netlist interpreted as a `bits x bits` multiplier, relative to
+/// the exact product, normalized by `2^(2B) - 1`.
+fn multiplier_nmed(netlist: &Netlist, bits: u32) -> f64 {
+    let table = crate::sim::ExhaustiveTable::build(netlist);
+    let n = 1u64 << bits;
+    let norm = ((1u64 << (2 * bits)) - 1) as f64;
+    let mut sum = 0.0f64;
+    // Simulation index convention: w low bits, x high bits.
+    for x in 0..n {
+        for w in 0..n {
+            let y = table.values()[((x << bits) | w) as usize];
+            let acc = w * x;
+            sum += (y as i64 - acc as i64).unsigned_abs() as f64;
+        }
+    }
+    sum / (n * n) as f64 / norm
+}
+
+/// Runs greedy approximate logic synthesis on a multiplier circuit.
+///
+/// Candidates (constant-0/1 replacement of every live gate, plus sampled
+/// wire substitutions) are scored by the exact NMED they would individually
+/// introduce, then applied cheapest-first while the cumulative NMED stays
+/// within [`AlsConfig::nmed_budget`].
+///
+/// # Example
+///
+/// ```
+/// use appmult_circuit::{synthesize, AlsConfig, MultiplierCircuit, CostModel};
+///
+/// let exact = MultiplierCircuit::array(6);
+/// let cfg = AlsConfig { nmed_budget: 0.005, ..AlsConfig::default() };
+/// let outcome = synthesize(&exact, &cfg);
+/// assert!(outcome.nmed <= 0.005);
+/// assert!(outcome.gates_after < outcome.gates_before);
+/// let model = CostModel::asap7();
+/// assert!(model.estimate(&outcome.circuit).area_um2 < model.estimate(&exact).area_um2);
+/// ```
+pub fn synthesize(base: &MultiplierCircuit, cfg: &AlsConfig) -> AlsOutcome {
+    let bits = base.bits();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut netlist = base.netlist().clone();
+    let gates_before = netlist.live_gate_count();
+    let base_nmed = multiplier_nmed(&netlist, bits);
+
+    // Enumerate candidates against the *initial* netlist and score each by
+    // the NMED it introduces alone.
+    #[derive(Debug)]
+    struct Candidate {
+        rewrite: AlsRewrite,
+        solo_nmed: f64,
+    }
+    let live = netlist.live_mask();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let rewritable: Vec<Signal> = netlist
+        .iter()
+        .filter(|(s, g)| live[s.index()] && g.kind.is_physical())
+        .map(|(s, _)| s)
+        .collect();
+
+    for &g in &rewritable {
+        for value in [false, true] {
+            let mut trial = netlist.clone();
+            trial
+                .replace_with_const(g, value)
+                .expect("gate is rewritable");
+            let nmed = multiplier_nmed(&trial, bits);
+            candidates.push(Candidate {
+                rewrite: AlsRewrite::Constant { gate: g, value },
+                solo_nmed: nmed,
+            });
+        }
+        for _ in 0..cfg.substitution_samples {
+            if g.index() == 0 {
+                break;
+            }
+            let with = Signal(rng.gen_range(0..g.index()) as u32);
+            let mut trial = netlist.clone();
+            if trial.replace_with_signal(g, with).is_err() {
+                continue;
+            }
+            let nmed = multiplier_nmed(&trial, bits);
+            candidates.push(Candidate {
+                rewrite: AlsRewrite::Substitute { gate: g, with },
+                solo_nmed: nmed,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.solo_nmed
+            .partial_cmp(&b.solo_nmed)
+            .expect("nmed is finite")
+    });
+
+    // Apply cheapest-first, re-checking the cumulative NMED after each
+    // tentative application.
+    let mut rewrites = Vec::new();
+    let mut current_nmed = base_nmed;
+    let mut touched = vec![false; netlist.num_nodes()];
+    for cand in candidates {
+        if rewrites.len() >= cfg.max_rewrites {
+            break;
+        }
+        if cand.solo_nmed > cfg.nmed_budget {
+            break; // sorted: nothing cheaper remains
+        }
+        let gate = match cand.rewrite {
+            AlsRewrite::Constant { gate, .. } | AlsRewrite::Substitute { gate, .. } => gate,
+        };
+        if touched[gate.index()] {
+            continue;
+        }
+        let mut trial = netlist.clone();
+        let ok = match cand.rewrite {
+            AlsRewrite::Constant { gate, value } => trial.replace_with_const(gate, value).is_ok(),
+            AlsRewrite::Substitute { gate, with } => trial.replace_with_signal(gate, with).is_ok(),
+        };
+        if !ok {
+            continue;
+        }
+        let nmed = multiplier_nmed(&trial, bits);
+        if nmed <= cfg.nmed_budget && nmed >= current_nmed - 1e-15 {
+            netlist = trial;
+            current_nmed = nmed;
+            touched[gate.index()] = true;
+            rewrites.push(cand.rewrite);
+        }
+    }
+
+    let gates_after = netlist.live_gate_count();
+    AlsOutcome {
+        circuit: MultiplierCircuit::from_parts(
+            netlist,
+            bits,
+            base.structure(),
+            base.removed_columns(),
+        ),
+        rewrites,
+        nmed: current_nmed,
+        gates_before,
+        gates_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmed_of_exact_multiplier_is_zero() {
+        let m = MultiplierCircuit::array(4);
+        assert_eq!(multiplier_nmed(m.netlist(), 4), 0.0);
+    }
+
+    #[test]
+    fn synthesis_respects_budget_and_saves_gates() {
+        let exact = MultiplierCircuit::array(5);
+        let cfg = AlsConfig {
+            nmed_budget: 0.004,
+            ..AlsConfig::default()
+        };
+        let out = synthesize(&exact, &cfg);
+        assert!(out.nmed <= cfg.nmed_budget + 1e-12);
+        assert!(out.gates_after < out.gates_before, "{out:?}");
+        assert!(!out.rewrites.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing_functional() {
+        let exact = MultiplierCircuit::array(4);
+        let cfg = AlsConfig {
+            nmed_budget: 0.0,
+            ..AlsConfig::default()
+        };
+        let out = synthesize(&exact, &cfg);
+        // Only error-free rewrites (e.g. redundant logic) may be accepted.
+        assert_eq!(out.nmed, 0.0);
+        let lut = out.circuit.exhaustive_products();
+        for w in 0..16u64 {
+            for x in 0..16u64 {
+                assert_eq!(lut[((w << 4) | x) as usize], w * x);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_for_a_seed() {
+        let exact = MultiplierCircuit::array(4);
+        let cfg = AlsConfig {
+            nmed_budget: 0.006,
+            seed: 7,
+            ..AlsConfig::default()
+        };
+        let a = synthesize(&exact, &cfg);
+        let b = synthesize(&exact, &cfg);
+        assert_eq!(a.rewrites, b.rewrites);
+        assert_eq!(
+            a.circuit.exhaustive_products(),
+            b.circuit.exhaustive_products()
+        );
+    }
+
+    #[test]
+    fn larger_budget_never_keeps_more_gates() {
+        let exact = MultiplierCircuit::array(5);
+        let small = synthesize(
+            &exact,
+            &AlsConfig {
+                nmed_budget: 0.001,
+                ..AlsConfig::default()
+            },
+        );
+        let large = synthesize(
+            &exact,
+            &AlsConfig {
+                nmed_budget: 0.01,
+                ..AlsConfig::default()
+            },
+        );
+        assert!(large.gates_after <= small.gates_after);
+    }
+}

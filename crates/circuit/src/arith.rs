@@ -1,0 +1,383 @@
+//! Generators for the arithmetic circuits used in the paper.
+//!
+//! The central structure is [`MultiplierCircuit`]: a gate-level unsigned
+//! `B x B` multiplier with named operand and product buses. Two partial
+//! product reduction styles are provided (carry-ripple array and Wallace
+//! tree), and any number of least-significant partial-product columns can be
+//! removed — reproducing the `_rmK` truncated multipliers of Fig. 2.
+
+use crate::dots::{reduce_ripple_impl, reduce_wallace_impl};
+use crate::netlist::{Netlist, NetlistError, Signal};
+use crate::sim::ExhaustiveTable;
+
+/// Reduction style of a generated multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiplierStructure {
+    /// Row-by-row carry-propagate array (long critical path, compact).
+    Array,
+    /// Wallace-style column compression with a final ripple adder.
+    Wallace,
+}
+
+impl Default for MultiplierStructure {
+    fn default() -> Self {
+        MultiplierStructure::Array
+    }
+}
+
+/// A gate-level unsigned multiplier with identified operand/product buses.
+///
+/// Primary inputs are the `w` bus (LSB first) followed by the `x` bus;
+/// primary outputs are the product bits, LSB first.
+/// [`MultiplierCircuit::exhaustive_products`] re-orders the raw simulation
+/// table into the LUT convention `(w << bits) | x` used by the retraining
+/// crates.
+#[derive(Debug, Clone)]
+pub struct MultiplierCircuit {
+    netlist: Netlist,
+    bits: u32,
+    structure: MultiplierStructure,
+    removed_columns: u32,
+}
+
+impl MultiplierCircuit {
+    /// Builds an exact `bits x bits` unsigned array multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 10 (exhaustive analyses cap the
+    /// input space at 2^20).
+    pub fn array(bits: u32) -> Self {
+        Self::with_removed_columns(bits, 0, MultiplierStructure::Array)
+    }
+
+    /// Builds an exact `bits x bits` unsigned Wallace-tree multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MultiplierCircuit::array`].
+    pub fn wallace(bits: u32) -> Self {
+        Self::with_removed_columns(bits, 0, MultiplierStructure::Wallace)
+    }
+
+    /// Builds a multiplier with the `removed_columns` least-significant
+    /// partial-product columns deleted (treated as 0), as in the paper's
+    /// Fig. 2 (`_rmK` designs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`, `bits > 10`, or
+    /// `removed_columns >= 2 * bits` (no product bits would remain driven).
+    pub fn with_removed_columns(
+        bits: u32,
+        removed_columns: u32,
+        structure: MultiplierStructure,
+    ) -> Self {
+        assert!(bits > 0 && bits <= 10, "bits must be in 1..=10, got {bits}");
+        assert!(
+            removed_columns < 2 * bits,
+            "cannot remove all {} partial-product columns",
+            2 * bits
+        );
+        let mut nl = Netlist::new();
+        let w: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+        let x: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+
+        // Partial products per column c = i + j, keeping only c >= removed.
+        let out_bits = 2 * bits;
+        let mut columns: Vec<Vec<Signal>> = vec![Vec::new(); out_bits as usize];
+        for i in 0..bits {
+            for j in 0..bits {
+                let c = i + j;
+                if c >= removed_columns {
+                    let pp = nl.and(w[i as usize], x[j as usize]);
+                    columns[c as usize].push(pp);
+                }
+            }
+        }
+
+        let outputs = match structure {
+            MultiplierStructure::Array => reduce_ripple_impl(&mut nl, columns),
+            MultiplierStructure::Wallace => reduce_wallace_impl(&mut nl, columns),
+        };
+        nl.set_outputs(outputs);
+        debug_assert!(nl.validate().is_ok());
+        Self {
+            netlist: nl,
+            bits,
+            structure,
+            removed_columns,
+        }
+    }
+
+    /// Wraps a hand-built netlist as a multiplier circuit.
+    ///
+    /// The netlist must follow the multiplier bus convention: `2 * bits`
+    /// primary inputs (`w` bus LSB-first, then `x` bus LSB-first) and
+    /// `2 * bits` primary outputs (product LSB-first). This is how the
+    /// design families in `appmult-mult` provide gate-level structures for
+    /// the hardware cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if the bus shapes do not
+    /// match, or propagates a validation error from
+    /// [`Netlist::validate`].
+    pub fn from_netlist(netlist: Netlist, bits: u32) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        if netlist.num_inputs() != 2 * bits as usize
+            || netlist.outputs().len() != 2 * bits as usize
+        {
+            return Err(NetlistError::UnknownSignal(Signal(0)));
+        }
+        Ok(Self {
+            netlist,
+            bits,
+            structure: MultiplierStructure::Array,
+            removed_columns: 0,
+        })
+    }
+
+    /// Wraps an externally modified netlist (e.g. after ALS) that keeps the
+    /// original bus layout.
+    pub(crate) fn from_parts(
+        netlist: Netlist,
+        bits: u32,
+        structure: MultiplierStructure,
+        removed_columns: u32,
+    ) -> Self {
+        Self {
+            netlist,
+            bits,
+            structure,
+            removed_columns,
+        }
+    }
+
+    /// Operand bit width `B`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Reduction style used when the circuit was generated.
+    pub fn structure(&self) -> MultiplierStructure {
+        self.structure
+    }
+
+    /// Number of removed least-significant partial-product columns.
+    pub fn removed_columns(&self) -> u32 {
+        self.removed_columns
+    }
+
+    /// The underlying gate netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Mutable access to the netlist (for synthesis passes).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
+    /// Computes the product for one operand pair via gate-level simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in [`MultiplierCircuit::bits`] bits.
+    pub fn multiply(&self, w: u64, x: u64) -> u64 {
+        let b = self.bits;
+        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        let mut bools = Vec::with_capacity(2 * b as usize);
+        for i in 0..b {
+            bools.push((w >> i) & 1 == 1);
+        }
+        for j in 0..b {
+            bools.push((x >> j) & 1 == 1);
+        }
+        let outs = crate::sim::simulate_bools(&self.netlist, &bools);
+        outs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &bit)| acc | (u64::from(bit) << k))
+    }
+
+    /// Exhaustively extracts the product table in the workspace LUT
+    /// convention: entry `(w << bits) | x` holds the product of `w` and `x`.
+    pub fn exhaustive_products(&self) -> Vec<u64> {
+        let table = ExhaustiveTable::build(&self.netlist);
+        let b = self.bits;
+        let n = 1usize << b;
+        let mut lut = vec![0u64; n * n];
+        // Simulation index: w in low bits, x in high bits.
+        for x in 0..n {
+            for w in 0..n {
+                lut[(w << b) | x] = table.values()[(x << b) | w];
+            }
+        }
+        lut
+    }
+}
+
+/// A gate-level unsigned ripple-carry adder with identified buses.
+#[derive(Debug, Clone)]
+pub struct AdderCircuit {
+    netlist: Netlist,
+    bits: u32,
+}
+
+impl AdderCircuit {
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Operand width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Adds two operands via gate-level simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in [`AdderCircuit::bits`] bits.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        let n = self.bits;
+        assert!(a < (1 << n) && b < (1 << n));
+        let mut bools = Vec::with_capacity(2 * n as usize);
+        for i in 0..n {
+            bools.push((a >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            bools.push((b >> i) & 1 == 1);
+        }
+        let outs = crate::sim::simulate_bools(&self.netlist, &bools);
+        outs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &bit)| acc | (u64::from(bit) << k))
+    }
+}
+
+/// Builds an unsigned `bits`-wide ripple-carry adder producing a
+/// `bits + 1`-bit sum.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 12.
+///
+/// # Example
+///
+/// ```
+/// let adder = appmult_circuit::ripple_carry_adder(4);
+/// assert_eq!(adder.add(9, 8), 17);
+/// ```
+pub fn ripple_carry_adder(bits: u32) -> AdderCircuit {
+    assert!(bits > 0 && bits <= 12, "bits must be in 1..=12");
+    let mut nl = Netlist::new();
+    let a: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+    let b: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+    let mut outputs = Vec::with_capacity(bits as usize + 1);
+    let (s0, mut carry) = nl.half_adder(a[0], b[0]);
+    outputs.push(s0);
+    for i in 1..bits as usize {
+        let (s, c) = nl.full_adder(a[i], b[i], carry);
+        outputs.push(s);
+        carry = c;
+    }
+    outputs.push(carry);
+    nl.set_outputs(outputs);
+    AdderCircuit { netlist: nl, bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_multiplier_is_exact_4bit() {
+        let m = MultiplierCircuit::array(4);
+        let lut = m.exhaustive_products();
+        for w in 0..16u64 {
+            for x in 0..16u64 {
+                assert_eq!(lut[((w << 4) | x) as usize], w * x, "{w}*{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_multiplier_is_exact_5bit() {
+        let m = MultiplierCircuit::wallace(5);
+        let lut = m.exhaustive_products();
+        for w in 0..32u64 {
+            for x in 0..32u64 {
+                assert_eq!(lut[((w << 5) | x) as usize], w * x, "{w}*{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn removed_columns_match_closed_form() {
+        // Removing k columns zeroes every partial product with i + j < k.
+        let bits = 5;
+        let k = 4;
+        let m = MultiplierCircuit::with_removed_columns(bits, k, MultiplierStructure::Array);
+        let lut = m.exhaustive_products();
+        for w in 0..(1u64 << bits) {
+            for x in 0..(1u64 << bits) {
+                let mut expect = 0u64;
+                for i in 0..bits {
+                    for j in 0..bits {
+                        if i + j >= k && (w >> i) & 1 == 1 && (x >> j) & 1 == 1 {
+                            expect += 1 << (i + j);
+                        }
+                    }
+                }
+                assert_eq!(lut[((w << bits) | x) as usize], expect, "{w}*{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_agrees_with_exhaustive() {
+        let m = MultiplierCircuit::array(6);
+        let lut = m.exhaustive_products();
+        for &(w, x) in &[(0, 0), (63, 63), (10, 31), (17, 42)] {
+            assert_eq!(m.multiply(w, x), lut[((w << 6) | x) as usize]);
+        }
+    }
+
+    #[test]
+    fn wallace_uses_fewer_levels_than_array() {
+        use crate::cost::CostModel;
+        let array = MultiplierCircuit::array(8);
+        let wallace = MultiplierCircuit::wallace(8);
+        let model = CostModel::asap7();
+        let d_array = model.estimate(&array).delay_ps;
+        let d_wallace = model.estimate(&wallace).delay_ps;
+        assert!(
+            d_wallace < d_array,
+            "wallace {d_wallace} should beat array {d_array}"
+        );
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let adder = ripple_carry_adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(adder.add(a, b), a + b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=10")]
+    fn rejects_zero_width() {
+        let _ = MultiplierCircuit::array(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove all")]
+    fn rejects_removing_everything() {
+        let _ = MultiplierCircuit::with_removed_columns(4, 8, MultiplierStructure::Array);
+    }
+}

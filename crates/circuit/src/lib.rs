@@ -1,0 +1,42 @@
+//! Gate-level hardware substrate for approximate multiplier design.
+//!
+//! This crate implements the hardware side of the AppMult-aware retraining
+//! flow: combinational gate netlists, generators for the arithmetic circuits
+//! used in the paper (array and Wallace-tree multipliers, ripple-carry
+//! adders), a 64-way bit-parallel logic simulator with exhaustive
+//! truth-table extraction, an ASAP7-calibrated area/delay/power cost model,
+//! and a greedy approximate logic synthesis (ALS) pass that generates the
+//! `_syn` multipliers of the paper's Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use appmult_circuit::{MultiplierCircuit, CostModel};
+//!
+//! // Build an 8-bit unsigned array multiplier and cost it.
+//! let mult = MultiplierCircuit::array(8);
+//! let table = mult.exhaustive_products();
+//! assert_eq!(table[(3 << 8) | 5], 15);
+//!
+//! let cost = CostModel::asap7().estimate(&mult);
+//! assert!(cost.area_um2 > 0.0 && cost.delay_ps > 0.0 && cost.power_uw > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod als;
+mod arith;
+mod cost;
+mod dots;
+mod export;
+mod netlist;
+mod sim;
+
+pub use als::{AlsConfig, AlsOutcome, AlsRewrite, synthesize};
+pub use arith::{MultiplierCircuit, MultiplierStructure, ripple_carry_adder, AdderCircuit};
+pub use dots::DotColumns;
+pub use export::{to_blif, to_verilog};
+pub use cost::{CostModel, GateCosts, HardwareCost};
+pub use netlist::{GateKind, Netlist, Signal, NetlistError};
+pub use sim::{simulate_words, simulate_bools, ExhaustiveTable};

@@ -1,0 +1,88 @@
+//! Property-based tests for the gate-level substrate.
+
+use appmult_circuit::{
+    ripple_carry_adder, synthesize, AlsConfig, MultiplierCircuit, MultiplierStructure, Netlist,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gate-level array multiplication equals integer multiplication.
+    #[test]
+    fn array_multiplier_matches_integers(w in 0u64..64, x in 0u64..64) {
+        let m = MultiplierCircuit::array(6);
+        prop_assert_eq!(m.multiply(w, x), w * x);
+    }
+
+    /// Wallace and array reductions compute the same function.
+    #[test]
+    fn wallace_equals_array(w in 0u64..32, x in 0u64..32) {
+        let a = MultiplierCircuit::array(5);
+        let b = MultiplierCircuit::wallace(5);
+        prop_assert_eq!(a.multiply(w, x), b.multiply(w, x));
+    }
+
+    /// Truncated multipliers always under-approximate the exact product
+    /// (removed partial products can only subtract).
+    #[test]
+    fn truncation_underestimates(w in 0u64..32, x in 0u64..32, k in 1u32..5) {
+        let m = MultiplierCircuit::with_removed_columns(5, k, MultiplierStructure::Array);
+        prop_assert!(m.multiply(w, x) <= w * x);
+    }
+
+    /// Ripple-carry adder equals integer addition.
+    #[test]
+    fn adder_matches_integers(a in 0u64..256, b in 0u64..256) {
+        let adder = ripple_carry_adder(8);
+        prop_assert_eq!(adder.add(a, b), a + b);
+    }
+
+    /// Word-parallel simulation is consistent with scalar simulation on a
+    /// random netlist.
+    #[test]
+    fn word_sim_equals_bool_sim(
+        seed_bits in proptest::collection::vec(any::<bool>(), 4),
+        ops in proptest::collection::vec(0u8..6, 1..20),
+    ) {
+        let mut nl = Netlist::new();
+        let mut signals: Vec<_> = (0..4).map(|_| nl.input()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            let a = signals[i % signals.len()];
+            let b = signals[(i * 7 + 3) % signals.len()];
+            let s = match op {
+                0 => nl.and(a, b),
+                1 => nl.or(a, b),
+                2 => nl.xor(a, b),
+                3 => nl.nand(a, b),
+                4 => nl.nor(a, b),
+                _ => nl.not(a),
+            };
+            signals.push(s);
+        }
+        let last = *signals.last().expect("nonempty");
+        nl.set_outputs(vec![last]);
+        prop_assert!(nl.validate().is_ok());
+
+        let scalar = appmult_circuit::simulate_bools(&nl, &seed_bits)[0];
+        let words: Vec<u64> = seed_bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let word = appmult_circuit::simulate_words(&nl, &words)[0];
+        prop_assert_eq!(word == u64::MAX, scalar);
+        prop_assert!(word == 0 || word == u64::MAX);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// ALS never exceeds its NMED budget, for any budget.
+    #[test]
+    fn als_respects_any_budget(budget in 0.0f64..0.01, seed in 0u64..4) {
+        let exact = MultiplierCircuit::array(4);
+        let cfg = AlsConfig { nmed_budget: budget, seed, ..AlsConfig::default() };
+        let out = synthesize(&exact, &cfg);
+        prop_assert!(out.nmed <= budget + 1e-12);
+        // The rewritten circuit still has the full output bus.
+        prop_assert_eq!(out.circuit.exhaustive_products().len(), 256);
+    }
+}

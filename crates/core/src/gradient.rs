@@ -1,0 +1,479 @@
+//! Difference-based gradient approximation of AppMults (Sec. III).
+//!
+//! For a fixed `W_f`, the gradient of the smoothed AppMult function is
+//! approximated by the central difference (Eq. 5)
+//!
+//! ```text
+//! dAM/dX ~ (S(W_f, X + 1) - S(W_f, X - 1)) / 2    for HWS < X < 2^B - 1 - HWS
+//! ```
+//!
+//! and by the average slope over the whole operand range (Eq. 6) at the
+//! boundary:
+//!
+//! ```text
+//! dAM/dX ~ (max_X AM(W_f, X) - min_X AM(W_f, X)) / 2^B    otherwise.
+//! ```
+//!
+//! The gradients for all `2^(2B)` operand pairs are precomputed into
+//! lookup tables ([`GradientLut`]) exactly as the paper stores them in GPU
+//! memory, and the framework accepts arbitrary user-defined tables through
+//! [`GradientMode::Custom`].
+
+use std::sync::Arc;
+
+use appmult_mult::MultiplierLut;
+
+use crate::smoothing::{row_min_max, smooth_row};
+
+/// How the gradient of an AppMult is approximated during backpropagation.
+#[derive(Debug, Clone)]
+pub enum GradientMode {
+    /// Straight-through estimator: use the accurate multiplier's gradient
+    /// (`dAM/dW ~ X`, `dAM/dX ~ W`) — the baseline of refs. [8]-[13].
+    Ste,
+    /// The paper's smoothed difference-based gradient with the given half
+    /// window size (Eqs. 4-6).
+    DifferenceBased {
+        /// Half window size `HWS` of the Eq. 4 moving average.
+        hws: u32,
+    },
+    /// Ablation: central differences of the *raw* (unsmoothed) AppMult
+    /// function, with the Eq. 6 rule only at `X = 0` and `X = 2^B - 1`.
+    /// Exhibits the zero/spiky gradients that motivate Eq. 4.
+    RawDifference,
+    /// Ablation of the Eq. 6 boundary rule: identical to
+    /// [`GradientMode::DifferenceBased`] in the interior, but boundary
+    /// operands copy the nearest interior gradient instead of using the
+    /// average slope.
+    DifferenceEdgeClamped {
+        /// Half window size `HWS` of the Eq. 4 moving average.
+        hws: u32,
+    },
+    /// User-supplied gradient tables in `(w << B) | x` layout.
+    Custom {
+        /// `dAM/dW` table, `2^(2B)` entries.
+        wrt_w: Arc<Vec<f32>>,
+        /// `dAM/dX` table, `2^(2B)` entries.
+        wrt_x: Arc<Vec<f32>>,
+    },
+}
+
+impl GradientMode {
+    /// Convenience constructor for the paper's method.
+    pub fn difference_based(hws: u32) -> Self {
+        GradientMode::DifferenceBased { hws }
+    }
+
+    /// Short identifier used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            GradientMode::Ste => "STE".into(),
+            GradientMode::DifferenceBased { hws } => format!("diff(hws={hws})"),
+            GradientMode::RawDifference => "raw-diff".into(),
+            GradientMode::DifferenceEdgeClamped { hws } => format!("diff-clamp(hws={hws})"),
+            GradientMode::Custom { .. } => "custom".into(),
+        }
+    }
+}
+
+/// Precomputed `dAM/dW` and `dAM/dX` tables for one multiplier.
+///
+/// Entry `(w << B) | x` of each table holds the partial derivative at that
+/// operand pair. Built once per (multiplier, gradient mode) and shared by
+/// every approximate layer via `Arc`.
+///
+/// # Example
+///
+/// ```
+/// use appmult_mult::{zoo, Multiplier};
+/// use appmult_retrain::{GradientLut, GradientMode};
+///
+/// let lut = zoo::mul7u_rm6().to_lut();
+/// let g = GradientLut::build(&lut, GradientMode::difference_based(4));
+/// // The staircase has a big jump near X = 63 for W_f = 10 (Fig. 3):
+/// assert!(g.wrt_x(10, 63) > g.wrt_x(10, 45));
+///
+/// // STE ignores the staircase entirely:
+/// let ste = GradientLut::build(&lut, GradientMode::Ste);
+/// assert_eq!(ste.wrt_x(10, 63), 10.0);
+/// assert_eq!(ste.wrt_x(10, 45), 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientLut {
+    bits: u32,
+    wrt_w: Arc<Vec<f32>>,
+    wrt_x: Arc<Vec<f32>>,
+    mode_label: String,
+}
+
+impl GradientLut {
+    /// Builds the gradient tables for `lut` under `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is `DifferenceBased` with `hws == 0`, or `Custom`
+    /// with tables of the wrong length.
+    pub fn build(lut: &MultiplierLut, mode: GradientMode) -> Self {
+        let bits = lut.bits();
+        let n = 1usize << bits;
+        let label = mode.label();
+        let (wrt_w, wrt_x) = match mode {
+            GradientMode::Ste => {
+                let mut gw = vec![0.0f32; n * n];
+                let mut gx = vec![0.0f32; n * n];
+                for w in 0..n {
+                    for x in 0..n {
+                        gw[w * n + x] = x as f32; // dAM/dW ~ X
+                        gx[w * n + x] = w as f32; // dAM/dX ~ W
+                    }
+                }
+                (Arc::new(gw), Arc::new(gx))
+            }
+            GradientMode::DifferenceBased { hws } => {
+                assert!(hws >= 1, "half window size must be positive");
+                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope);
+                let gw = difference_tables(&lut.transposed(), hws, BoundaryRule::AverageSlope);
+                // `gw` was computed on the transposed LUT (rows indexed by
+                // x); transpose it back into (w << B) | x layout.
+                let mut gw_t = vec![0.0f32; n * n];
+                for x in 0..n {
+                    for w in 0..n {
+                        gw_t[w * n + x] = gw[x * n + w];
+                    }
+                }
+                (Arc::new(gw_t), Arc::new(gx))
+            }
+            GradientMode::RawDifference => {
+                let gx = raw_difference_tables(lut);
+                let gw = raw_difference_tables(&lut.transposed());
+                let mut gw_t = vec![0.0f32; n * n];
+                for x in 0..n {
+                    for w in 0..n {
+                        gw_t[w * n + x] = gw[x * n + w];
+                    }
+                }
+                (Arc::new(gw_t), Arc::new(gx))
+            }
+            GradientMode::DifferenceEdgeClamped { hws } => {
+                assert!(hws >= 1, "half window size must be positive");
+                let gx = difference_tables(lut, hws, BoundaryRule::ClampToInterior);
+                let gw =
+                    difference_tables(&lut.transposed(), hws, BoundaryRule::ClampToInterior);
+                let mut gw_t = vec![0.0f32; n * n];
+                for x in 0..n {
+                    for w in 0..n {
+                        gw_t[w * n + x] = gw[x * n + w];
+                    }
+                }
+                (Arc::new(gw_t), Arc::new(gx))
+            }
+            GradientMode::Custom { wrt_w, wrt_x } => {
+                assert_eq!(wrt_w.len(), n * n, "wrt_w table length");
+                assert_eq!(wrt_x.len(), n * n, "wrt_x table length");
+                (wrt_w, wrt_x)
+            }
+        };
+        Self {
+            bits,
+            wrt_w,
+            wrt_x,
+            mode_label: label,
+        }
+    }
+
+    /// Operand bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Label of the gradient mode used to build the tables.
+    pub fn mode_label(&self) -> &str {
+        &self.mode_label
+    }
+
+    /// `dAM/dW` at `(w, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `B` bits.
+    #[inline]
+    pub fn wrt_w(&self, w: u32, x: u32) -> f32 {
+        let b = self.bits;
+        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        self.wrt_w[((w as usize) << b) | x as usize]
+    }
+
+    /// `dAM/dX` at `(w, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not fit in `B` bits.
+    #[inline]
+    pub fn wrt_x(&self, w: u32, x: u32) -> f32 {
+        let b = self.bits;
+        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        self.wrt_x[((w as usize) << b) | x as usize]
+    }
+
+    /// Raw `dAM/dW` table in `(w << B) | x` layout.
+    pub fn wrt_w_table(&self) -> &Arc<Vec<f32>> {
+        &self.wrt_w
+    }
+
+    /// Raw `dAM/dX` table in `(w << B) | x` layout.
+    pub fn wrt_x_table(&self) -> &Arc<Vec<f32>> {
+        &self.wrt_x
+    }
+}
+
+/// How boundary operands (outside the Eq. 5 domain) are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundaryRule {
+    /// Eq. 6: `(max AM - min AM) / 2^B`, the paper's rule.
+    AverageSlope,
+    /// Ablation: copy the nearest interior Eq. 5 value.
+    ClampToInterior,
+}
+
+/// Eq. 5 + boundary rule over every row of `lut` (gradient w.r.t. the
+/// second operand of the given table).
+fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule) -> Vec<f32> {
+    let bits = lut.bits();
+    let n = 1usize << bits;
+    let h = hws as usize;
+    let mut out = vec![0.0f32; n * n];
+    for w in 0..n as u32 {
+        let row = lut.row(w);
+        let smoothed = smooth_row(row, hws);
+        let (lo, hi) = row_min_max(row);
+        // Eq. 6: average change per unit X over the full operand range.
+        let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
+        let out_row = &mut out[(w as usize) * n..(w as usize + 1) * n];
+        let mut first_interior = None;
+        let mut last_interior = None;
+        for x in 0..n {
+            let interior = x > h && x + h + 1 < n; // HWS < X < 2^B - 1 - HWS
+            if interior {
+                let sp = smoothed[x + 1].expect("x + 1 in smoothing domain");
+                let sm = smoothed[x - 1].expect("x - 1 in smoothing domain");
+                out_row[x] = ((sp - sm) / 2.0) as f32;
+                first_interior.get_or_insert(x);
+                last_interior = Some(x);
+            } else {
+                out_row[x] = boundary;
+            }
+        }
+        if rule == BoundaryRule::ClampToInterior {
+            if let (Some(first), Some(last)) = (first_interior, last_interior) {
+                let (head, tail) = (out_row[first], out_row[last]);
+                for x in 0..first {
+                    out_row[x] = head;
+                }
+                for x in last + 1..n {
+                    out_row[x] = tail;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Ablation: central difference of the raw AppMult row, Eq. 6 at the ends.
+fn raw_difference_tables(lut: &MultiplierLut) -> Vec<f32> {
+    let bits = lut.bits();
+    let n = 1usize << bits;
+    let mut out = vec![0.0f32; n * n];
+    for w in 0..n as u32 {
+        let row = lut.row(w);
+        let (lo, hi) = row_min_max(row);
+        let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
+        let out_row = &mut out[(w as usize) * n..(w as usize + 1) * n];
+        for x in 0..n {
+            out_row[x] = if x > 0 && x + 1 < n {
+                (f64::from(row[x + 1]) - f64::from(row[x - 1])) as f32 / 2.0
+            } else {
+                boundary
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_mult::{ExactMultiplier, Multiplier, TruncatedMultiplier};
+
+    #[test]
+    fn ste_tables_are_the_accurate_gradient() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::Ste);
+        for w in 0..64 {
+            for x in 0..64 {
+                assert_eq!(g.wrt_w(w, x), x as f32);
+                assert_eq!(g.wrt_x(w, x), w as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_multiplier_difference_gradient_tracks_ste() {
+        // For the exact multiplier, AM(W, X) = W X, so the smoothed central
+        // difference is exactly W in the interior.
+        let lut = ExactMultiplier::new(7).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(4));
+        for w in [0u32, 5, 10, 100, 127] {
+            for x in [6u32, 20, 64, 100, 122] {
+                // interior: x > 4 and x < 122... keep x <= 122 for hws=4
+                let expect = w as f32;
+                assert!(
+                    (g.wrt_x(w, x) - expect).abs() < 1e-3,
+                    "w={w} x={x}: {} vs {expect}",
+                    g.wrt_x(w, x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_uses_eq6_average_slope() {
+        let lut = ExactMultiplier::new(6).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(4));
+        // For W = 9 the row spans 0 ..= 9 * 63; Eq. 6 gives 9*63/64.
+        let expect = (9.0 * 63.0) / 64.0;
+        for x in [0u32, 2, 4, 59, 60, 63] {
+            assert!(
+                (g.wrt_x(9, x) - expect).abs() < 1e-4,
+                "x={x}: {} vs {expect}",
+                g.wrt_x(9, x)
+            );
+        }
+        // X = 5 is NOT interior (Eq. 5 needs X > HWS), X = 6 is.
+        assert!((g.wrt_x(9, 4) - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fig3_peaks_at_staircase_jumps() {
+        // Fig. 3(b): for mul7u_rm6 and W_f = 10, the difference-based
+        // gradient has large values around X = 31, 63, 95 and small values
+        // on the plateaus; STE is constant 10.
+        let lut = TruncatedMultiplier::new(7, 6).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(4));
+        let peak = |x: u32| g.wrt_x(10, x);
+        // For W_f = 10 the function AM(10, X) = 64 x3 + 128 x4 + 320 x5 +
+        // 640 x6 (bits of X), so the big +128 jumps sit at X = 31 -> 32,
+        // 63 -> 64, 95 -> 96 on top of +64 steps every 8.
+        for jump in [31u32, 63, 95] {
+            let near: f32 = (jump - 1..=jump + 1).map(peak).fold(0.0, f32::max);
+            let plateau = peak(jump - 12).abs().max(peak(jump + 12).abs());
+            assert!(
+                near > 1.15 * plateau.max(1.0),
+                "jump {jump}: near {near} vs plateau {plateau}"
+            );
+        }
+        // And the peaks clearly exceed the Eq. 6 average slope (960 / 128).
+        let avg = 960.0 / 128.0;
+        for jump in [31u32, 63, 95] {
+            let near: f32 = (jump - 1..=jump + 1).map(peak).fold(0.0, f32::max);
+            assert!(near > 1.5 * avg, "jump {jump}: near {near} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn row_zero_of_truncated_multiplier_has_zero_gradient() {
+        // AM(0, X) = 0 for all X, so both Eq. 5 and Eq. 6 give 0.
+        let lut = TruncatedMultiplier::new(7, 6).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(2));
+        for x in 0..128 {
+            assert_eq!(g.wrt_x(0, x), 0.0);
+        }
+    }
+
+    #[test]
+    fn oversized_hws_falls_back_to_eq6_everywhere() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(32));
+        let row = lut.row(20);
+        let (lo, hi) = (row.iter().min().copied().expect("nonempty"), row.iter().max().copied().expect("nonempty"));
+        let expect = (hi - lo) as f32 / 64.0;
+        for x in 0..64 {
+            assert!((g.wrt_x(20, x) - expect).abs() < 1e-4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn raw_difference_has_zero_plateaus() {
+        // The ablation mode shows the pathology Eq. 4 fixes: zero gradient
+        // on staircase plateaus.
+        let lut = TruncatedMultiplier::new(7, 6).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::RawDifference);
+        let zeros = (1..127).filter(|&x| g.wrt_x(10, x) == 0.0).count();
+        assert!(zeros > 40, "expected many zero-gradient plateaus, got {zeros}");
+
+        // And the smoothed version has far fewer.
+        let gs = GradientLut::build(&lut, GradientMode::difference_based(4));
+        let smooth_zeros = (5..122).filter(|&x| gs.wrt_x(10, x) == 0.0).count();
+        assert!(smooth_zeros < zeros / 4, "{smooth_zeros} vs {zeros}");
+    }
+
+    #[test]
+    fn wrt_w_is_wrt_x_of_the_transpose() {
+        let lut = TruncatedMultiplier::new(6, 3).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(2));
+        let gt = GradientLut::build(&lut.transposed(), GradientMode::difference_based(2));
+        for w in 0..64 {
+            for x in 0..64 {
+                assert_eq!(g.wrt_w(w, x), gt.wrt_x(x, w), "w={w} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_clamped_matches_paper_rule_in_the_interior() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let paper = GradientLut::build(&lut, GradientMode::difference_based(4));
+        let clamp = GradientLut::build(&lut, GradientMode::DifferenceEdgeClamped { hws: 4 });
+        for w in 0..64u32 {
+            for x in 0..64u32 {
+                let interior = x > 4 && x < 59;
+                if interior {
+                    assert_eq!(paper.wrt_x(w, x), clamp.wrt_x(w, x), "w={w} x={x}");
+                }
+            }
+        }
+        // At the boundary the ablation copies the nearest interior value.
+        assert_eq!(clamp.wrt_x(20, 0), clamp.wrt_x(20, 5));
+        assert_eq!(clamp.wrt_x(20, 63), clamp.wrt_x(20, 58));
+        assert_eq!(clamp.mode_label(), "diff-clamp(hws=4)");
+    }
+
+    #[test]
+    fn custom_tables_pass_through() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let table = Arc::new(vec![2.5f32; 256]);
+        let g = GradientLut::build(
+            &lut,
+            GradientMode::Custom {
+                wrt_w: table.clone(),
+                wrt_x: table,
+            },
+        );
+        assert_eq!(g.wrt_w(3, 9), 2.5);
+        assert_eq!(g.wrt_x(15, 0), 2.5);
+        assert_eq!(g.mode_label(), "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "table length")]
+    fn custom_tables_validate_length() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let bad = Arc::new(vec![0.0f32; 10]);
+        GradientLut::build(
+            &lut,
+            GradientMode::Custom {
+                wrt_w: bad.clone(),
+                wrt_x: bad,
+            },
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Half-window-size (HWS) selection (Sec. V-A).
+//!
+//! The paper tunes the Eq. 4 half window size per AppMult by sweeping
+//! `HWS in {1, 2, 4, 8, 16, 32, 64}`, retraining a small LeNet on CIFAR-10
+//! for 5 epochs with each candidate, and keeping the one with the smallest
+//! training loss. This module provides the sweep scaffolding; the proxy
+//! training run is supplied by the caller (so the selection is reusable
+//! with any model/dataset pairing).
+
+/// The candidate set used in the paper.
+pub const PAPER_HWS_CANDIDATES: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// One candidate's outcome in an HWS sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwsTrial {
+    /// The candidate half window size.
+    pub hws: u32,
+    /// Final training loss of the proxy run.
+    pub train_loss: f64,
+}
+
+/// Result of an HWS sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwsSelection {
+    /// The winning half window size (smallest training loss).
+    pub best: u32,
+    /// All trials in sweep order.
+    pub trials: Vec<HwsTrial>,
+}
+
+/// Sweeps `candidates`, calling `proxy_loss(hws)` for each (a short
+/// retraining run returning its final training loss), and picks the
+/// candidate with the smallest loss. Candidates whose proxy loss is not
+/// finite are skipped.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or every proxy loss is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use appmult_retrain::{select_hws, PAPER_HWS_CANDIDATES};
+///
+/// // A synthetic proxy with a sweet spot at 8.
+/// let sel = select_hws(&PAPER_HWS_CANDIDATES, |hws| {
+///     ((hws as f64).log2() - 3.0).abs()
+/// });
+/// assert_eq!(sel.best, 8);
+/// assert_eq!(sel.trials.len(), 7);
+/// ```
+pub fn select_hws<F: FnMut(u32) -> f64>(candidates: &[u32], mut proxy_loss: F) -> HwsSelection {
+    assert!(!candidates.is_empty(), "no HWS candidates");
+    let mut trials = Vec::with_capacity(candidates.len());
+    for &hws in candidates {
+        let train_loss = proxy_loss(hws);
+        trials.push(HwsTrial { hws, train_loss });
+    }
+    let best = trials
+        .iter()
+        .filter(|t| t.train_loss.is_finite())
+        .min_by(|a, b| a.train_loss.total_cmp(&b.train_loss))
+        .expect("every proxy run diverged")
+        .hws;
+    HwsSelection { best, trials }
+}
+
+/// Filters the paper's candidate set down to values that are meaningful
+/// for a `bits`-bit multiplier (a window of `2 * HWS + 1` must fit inside
+/// the operand range for Eq. 5 to have a non-empty domain).
+pub fn candidates_for_bits(bits: u32) -> Vec<u32> {
+    let limit = (1u32 << bits) / 2;
+    PAPER_HWS_CANDIDATES
+        .iter()
+        .copied()
+        .filter(|&h| h < limit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum_loss() {
+        let sel = select_hws(&[1, 2, 4], |h| (h as f64 - 2.0).powi(2));
+        assert_eq!(sel.best, 2);
+    }
+
+    #[test]
+    fn skips_diverged_runs() {
+        let sel = select_hws(&[1, 2, 4], |h| {
+            if h == 1 {
+                f64::NAN
+            } else {
+                h as f64
+            }
+        });
+        assert_eq!(sel.best, 2);
+    }
+
+    #[test]
+    fn candidate_filter_respects_bitwidth() {
+        assert_eq!(candidates_for_bits(6), vec![1, 2, 4, 8, 16]);
+        assert_eq!(candidates_for_bits(7), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(candidates_for_bits(8), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn all_nan_panics() {
+        select_hws(&[1, 2], |_| f64::NAN);
+    }
+}

@@ -1,0 +1,250 @@
+//! Uniform asymmetric quantization (Eqs. 7-8 of the paper).
+//!
+//! The framework simulates integer arithmetic with *fake quantization*:
+//! floating-point weights `w` and activations `x` are mapped to unsigned
+//! `B`-bit integers
+//!
+//! ```text
+//! W = Q(w) = round(w / s_w + Z_w),    X = Q(x) = round(x / s_x + Z_x)
+//! ```
+//!
+//! the (approximate) integer product `Y = AM(W, X)` is computed, and the
+//! dequantization
+//!
+//! ```text
+//! y = DQ(Y) = s_w s_x (Y - Z_x W - Z_w X + Z_w Z_x)
+//! ```
+//!
+//! recovers a floating-point value. `Q'` uses the clipped straight-through
+//! estimator: the gradient passes iff the pre-round value lies inside the
+//! quantizer range.
+
+use appmult_nn::Tensor;
+
+/// Scale and zero point of one uniform asymmetric quantizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Floating-point scale `s` (> 0).
+    pub scale: f32,
+    /// Integer zero point `Z` in `[0, 2^B - 1]`.
+    pub zero_point: i32,
+    /// Operand bit width `B`.
+    pub bits: u32,
+}
+
+impl QuantParams {
+    /// Derives parameters covering `[lo, hi]` with `bits`-bit unsigned
+    /// codes (Eq. 7). The range is widened to include 0 so that zero
+    /// padding quantizes exactly to the zero point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, either bound is non-finite, or `bits` is not in
+    /// `2..=10`.
+    pub fn from_range(lo: f32, hi: f32, bits: u32) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "range must be finite");
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        assert!((2..=10).contains(&bits), "bits must be in 2..=10");
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let qmax = ((1u32 << bits) - 1) as f32;
+        let scale = ((hi - lo) / qmax).max(1e-10);
+        let zero_point = (-lo / scale).round().clamp(0.0, qmax) as i32;
+        Self {
+            scale,
+            zero_point,
+            bits,
+        }
+    }
+
+    /// Largest representable code, `2^B - 1`.
+    pub fn qmax(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Quantizes one value (Eq. 7), clamping to the code range.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> u32 {
+        let q = (v / self.scale + self.zero_point as f32).round();
+        q.clamp(0.0, self.qmax() as f32) as u32
+    }
+
+    /// Whether `v` quantizes without clamping — the clipped-STE condition
+    /// for `Q'(v) != 0`.
+    #[inline]
+    pub fn in_range(&self, v: f32) -> bool {
+        let q = (v / self.scale + self.zero_point as f32).round();
+        q >= 0.0 && q <= self.qmax() as f32
+    }
+
+    /// Dequantizes one code: `s * (q - Z)`.
+    #[inline]
+    pub fn dequantize(&self, q: u32) -> f32 {
+        self.scale * (q as i32 - self.zero_point) as f32
+    }
+
+    /// Fake-quantization round trip: `dequantize(quantize(v))`.
+    #[inline]
+    pub fn fake_quantize(&self, v: f32) -> f32 {
+        self.dequantize(self.quantize(v))
+    }
+}
+
+/// Dequantization of an accumulated dot product of `count` terms (Eq. 8
+/// applied linearly over the sum):
+///
+/// `y = s_w s_x (sum_Y - Z_x sum_W - Z_w sum_X + count Z_w Z_x)`.
+#[inline]
+pub fn dequantize_dot(
+    wq: &QuantParams,
+    xq: &QuantParams,
+    sum_y: i64,
+    sum_w: i64,
+    sum_x: i64,
+    count: usize,
+) -> f32 {
+    let zw = i64::from(wq.zero_point);
+    let zx = i64::from(xq.zero_point);
+    let acc = sum_y - zx * sum_w - zw * sum_x + (count as i64) * zw * zx;
+    wq.scale * xq.scale * acc as f32
+}
+
+/// Exponential-moving-average min/max observer for activation calibration.
+///
+/// The first observation initializes the range directly; later batches are
+/// blended with momentum, the standard fake-quantization recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Observer {
+    range: Option<(f32, f32)>,
+    momentum: f32,
+}
+
+impl Observer {
+    /// Creates an observer with the given EMA momentum (e.g. 0.05-0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < momentum <= 1`.
+    pub fn new(momentum: f32) -> Self {
+        assert!(momentum > 0.0 && momentum <= 1.0, "momentum in (0, 1]");
+        Self {
+            range: None,
+            momentum,
+        }
+    }
+
+    /// Folds a batch's min/max into the running range.
+    pub fn observe(&mut self, t: &Tensor) {
+        let (lo, hi) = t.min_max();
+        self.range = Some(match self.range {
+            None => (lo, hi),
+            Some((rlo, rhi)) => (
+                rlo + self.momentum * (lo - rlo),
+                rhi + self.momentum * (hi - rhi),
+            ),
+        });
+    }
+
+    /// Current range, if any batch has been observed.
+    pub fn range(&self) -> Option<(f32, f32)> {
+        self.range
+    }
+
+    /// Quantization parameters for the current range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed yet.
+    pub fn quant_params(&self, bits: u32) -> QuantParams {
+        let (lo, hi) = self.range.expect("observer has seen no data");
+        QuantParams::from_range(lo, hi, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_within_half_step() {
+        let q = QuantParams::from_range(-1.0, 1.0, 8);
+        for i in 0..100 {
+            let v = -1.0 + 0.02 * i as f32;
+            let r = q.fake_quantize(v);
+            assert!((r - v).abs() <= q.scale * 0.5 + 1e-6, "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero_point_exactly() {
+        let q = QuantParams::from_range(-0.73, 1.9, 8);
+        assert_eq!(q.quantize(0.0), q.zero_point as u32);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn positive_only_range_still_contains_zero() {
+        let q = QuantParams::from_range(0.5, 2.0, 8);
+        assert_eq!(q.quantize(0.0), q.zero_point as u32);
+        assert_eq!(q.zero_point, 0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_and_clip() {
+        let q = QuantParams::from_range(-1.0, 1.0, 4);
+        assert_eq!(q.quantize(50.0), q.qmax());
+        assert_eq!(q.quantize(-50.0), 0);
+        assert!(!q.in_range(50.0));
+        assert!(!q.in_range(-50.0));
+        assert!(q.in_range(0.5));
+    }
+
+    #[test]
+    fn degenerate_range_does_not_blow_up() {
+        let q = QuantParams::from_range(0.0, 0.0, 8);
+        assert!(q.scale > 0.0);
+        let r = q.fake_quantize(0.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn dequantize_dot_matches_elementwise() {
+        // Quantized dot product dequantized in one shot must equal the sum
+        // of per-term dequantized products when the multiplier is exact.
+        let wq = QuantParams::from_range(-0.8, 0.9, 8);
+        let xq = QuantParams::from_range(0.0, 2.0, 8);
+        let ws = [-0.5f32, 0.3, 0.88];
+        let xs = [1.5f32, 0.2, 0.7];
+        let mut sum_y = 0i64;
+        let mut sum_w = 0i64;
+        let mut sum_x = 0i64;
+        let mut reference = 0.0f32;
+        for (w, x) in ws.iter().zip(&xs) {
+            let cw = wq.quantize(*w);
+            let cx = xq.quantize(*x);
+            sum_y += i64::from(cw) * i64::from(cx);
+            sum_w += i64::from(cw);
+            sum_x += i64::from(cx);
+            reference += wq.dequantize(cw) * xq.dequantize(cx);
+        }
+        let got = dequantize_dot(&wq, &xq, sum_y, sum_w, sum_x, ws.len());
+        assert!((got - reference).abs() < 1e-5, "{got} vs {reference}");
+    }
+
+    #[test]
+    fn observer_ema_converges() {
+        let mut obs = Observer::new(0.5);
+        obs.observe(&Tensor::from_vec(vec![-1.0, 1.0], &[2]));
+        for _ in 0..20 {
+            obs.observe(&Tensor::from_vec(vec![-2.0, 4.0], &[2]));
+        }
+        let (lo, hi) = obs.range().expect("observed");
+        assert!((lo + 2.0).abs() < 1e-3 && (hi - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn unobserved_params_panic() {
+        Observer::new(0.1).quant_params(8);
+    }
+}

@@ -1,0 +1,284 @@
+//! The AppMult-aware retraining loop (Sec. IV / V-A).
+
+use appmult_nn::loss::softmax_cross_entropy;
+use appmult_nn::metrics::{top_k_accuracy, RunningMean};
+use appmult_nn::optim::{Optimizer, StepSchedule};
+use appmult_nn::{Module, Tensor};
+
+/// One pre-assembled mini-batch: NCHW images and integer labels.
+pub type Batch = (Tensor, Vec<usize>);
+
+/// Retraining configuration.
+///
+/// The defaults follow the paper's setup: Adam (supplied by the caller),
+/// 30 epochs, and the step learning-rate schedule of Sec. V-A.
+#[derive(Debug, Clone)]
+pub struct RetrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Learning-rate schedule, indexed by 1-based epoch.
+    pub schedule: StepSchedule,
+    /// Evaluate on the test set every `eval_every` epochs (always on the
+    /// final epoch).
+    pub eval_every: usize,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            schedule: StepSchedule::paper_default(),
+            eval_every: 1,
+        }
+    }
+}
+
+impl RetrainConfig {
+    /// A scaled-down configuration for CPU-sized experiments.
+    pub fn quick(epochs: usize) -> Self {
+        Self {
+            epochs,
+            schedule: StepSchedule::new(vec![(1, 1e-3)]),
+            eval_every: 1,
+        }
+    }
+}
+
+/// Per-epoch statistics of a retraining run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 1-based epoch index.
+    pub epoch: usize,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+    /// Mean training loss.
+    pub train_loss: f64,
+    /// Top-1 test accuracy (NaN-free; `None` on non-eval epochs).
+    pub test_top1: Option<f64>,
+    /// Top-5 test accuracy.
+    pub test_top5: Option<f64>,
+}
+
+/// Full history of a retraining run.
+#[derive(Debug, Clone, Default)]
+pub struct RetrainHistory {
+    /// Per-epoch records in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl RetrainHistory {
+    /// Final top-1 test accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run recorded no evaluation.
+    pub fn final_top1(&self) -> f64 {
+        self.epochs
+            .iter()
+            .rev()
+            .find_map(|e| e.test_top1)
+            .expect("no evaluation was recorded")
+    }
+
+    /// Final top-5 test accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run recorded no evaluation.
+    pub fn final_top5(&self) -> f64 {
+        self.epochs
+            .iter()
+            .rev()
+            .find_map(|e| e.test_top5)
+            .expect("no evaluation was recorded")
+    }
+
+    /// Final training loss.
+    pub fn final_train_loss(&self) -> f64 {
+        self.epochs.last().map(|e| e.train_loss).unwrap_or(f64::NAN)
+    }
+}
+
+/// Evaluates top-1/top-5 accuracy of `model` over `batches` in eval mode.
+pub fn evaluate(model: &mut dyn Module, batches: &[Batch]) -> (f64, f64) {
+    let mut top1 = RunningMean::new();
+    let mut top5 = RunningMean::new();
+    for (x, labels) in batches {
+        let logits = model.forward(x, false);
+        top1.add(top_k_accuracy(&logits, labels, 1), labels.len() as u64);
+        top5.add(top_k_accuracy(&logits, labels, 5), labels.len() as u64);
+    }
+    (top1.mean(), top5.mean())
+}
+
+/// Runs AppMult-aware retraining: for each epoch, sets the scheduled
+/// learning rate, iterates the training batches (forward through the
+/// AppMult LUTs, backward through the gradient LUTs), and evaluates.
+///
+/// The caller owns the model (with approximate layers already installed),
+/// the optimizer, and the batched data; this keeps the loop reusable for
+/// STE-vs-ours comparisons on identical initial conditions.
+///
+/// # Panics
+///
+/// Panics if `train` is empty.
+pub fn retrain(
+    model: &mut dyn Module,
+    optimizer: &mut dyn Optimizer,
+    config: &RetrainConfig,
+    train: &[Batch],
+    test: &[Batch],
+) -> RetrainHistory {
+    assert!(!train.is_empty(), "no training batches");
+    let mut history = RetrainHistory::default();
+    for epoch in 1..=config.epochs {
+        let lr = config.schedule.lr_for_epoch(epoch);
+        optimizer.set_lr(lr);
+        let mut loss_mean = RunningMean::new();
+        // Deterministic batch-order shuffle that varies per epoch.
+        let order = shuffled_order(train.len(), epoch as u64);
+        for &bi in &order {
+            let (x, labels) = &train[bi];
+            let logits = model.forward(x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, labels);
+            model.backward(&grad);
+            optimizer.step(model);
+            model.zero_grad();
+            loss_mean.add(f64::from(loss), labels.len() as u64);
+        }
+        let evaluate_now =
+            !test.is_empty() && (epoch % config.eval_every == 0 || epoch == config.epochs);
+        let (t1, t5) = if evaluate_now {
+            let (a, b) = evaluate(model, test);
+            (Some(a), Some(b))
+        } else {
+            (None, None)
+        };
+        history.epochs.push(EpochStats {
+            epoch,
+            lr,
+            train_loss: loss_mean.mean(),
+            test_top1: t1,
+            test_top5: t5,
+        });
+    }
+    history
+}
+
+/// Deterministic permutation of `0..len` derived from `seed`
+/// (splitmix-style Fisher-Yates).
+fn shuffled_order(len: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state >> 30;
+        state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x94D0_49BB_1331_11EB);
+        state ^= state >> 31;
+        state
+    };
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_nn::layers::{Flatten, Linear, Sequential};
+    use appmult_nn::optim::Adam;
+
+    fn two_blob_batches(n_batches: usize, seed: u64) -> Vec<Batch> {
+        // Two linearly separable 1x2x2 "image" classes.
+        let mut out = vec![];
+        let mut s = seed;
+        for _ in 0..n_batches {
+            let mut data = vec![];
+            let mut labels = vec![];
+            for k in 0..8 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((s >> 33) as f32 / 2.0_f32.powi(31)) * 0.2;
+                let class = k % 2;
+                let base = if class == 0 { 0.8 } else { -0.8 };
+                data.extend_from_slice(&[base + noise, -base, base, -base - noise]);
+                labels.push(class);
+            }
+            out.push((Tensor::from_vec(data, &[8, 1, 2, 2]), labels));
+        }
+        out
+    }
+
+    fn tiny_model(seed: u64) -> Sequential {
+        Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(4, 2, seed))
+    }
+
+    #[test]
+    fn retraining_learns_a_separable_task() {
+        let train = two_blob_batches(8, 3);
+        let test = two_blob_batches(2, 99);
+        let mut model = tiny_model(1);
+        let mut opt = Adam::new(1e-2);
+        let cfg = RetrainConfig {
+            epochs: 5,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 1,
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+        assert_eq!(history.epochs.len(), 5);
+        assert!(history.final_top1() > 0.95, "top1 = {}", history.final_top1());
+        assert!(history.final_train_loss() < 0.3);
+        // Loss decreased overall.
+        assert!(history.epochs[4].train_loss < history.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn schedule_is_applied_per_epoch() {
+        let train = two_blob_batches(1, 3);
+        let mut model = tiny_model(2);
+        let mut opt = Adam::new(999.0); // will be overwritten by the schedule
+        let cfg = RetrainConfig {
+            epochs: 3,
+            schedule: StepSchedule::new(vec![(1, 1e-3), (3, 1e-4)]),
+            eval_every: 10,
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
+        assert_eq!(history.epochs[0].lr, 1e-3);
+        assert_eq!(history.epochs[1].lr, 1e-3);
+        assert_eq!(history.epochs[2].lr, 1e-4);
+        assert!(history.epochs[0].test_top1.is_none());
+    }
+
+    #[test]
+    fn eval_every_controls_eval_epochs_but_final_always_evaluates() {
+        let train = two_blob_batches(1, 3);
+        let test = two_blob_batches(1, 5);
+        let mut model = tiny_model(3);
+        let mut opt = Adam::new(1e-3);
+        let cfg = RetrainConfig {
+            epochs: 3,
+            schedule: StepSchedule::new(vec![(1, 1e-3)]),
+            eval_every: 2,
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+        assert!(history.epochs[0].test_top1.is_none());
+        assert!(history.epochs[1].test_top1.is_some());
+        assert!(history.epochs[2].test_top1.is_some()); // final epoch
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_a_permutation() {
+        let a = shuffled_order(100, 7);
+        let b = shuffled_order(100, 7);
+        let c = shuffled_order(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,135 @@
+//! Moving-average smoothing of the AppMult function (Eq. 4).
+//!
+//! With the least-significant partial products removed, `AM(W_f, X)` is a
+//! staircase in `X`: zero slope almost everywhere and huge jumps at the
+//! stair edges — both hostile to gradient descent (Sec. III-A, Fig. 3a).
+//! Eq. 4 replaces each point by the mean of its `2 * HWS + 1` neighbours:
+//!
+//! ```text
+//! S(W_f, X) = (1 / (2 HWS + 1)) * sum_{dx = -HWS}^{HWS} AM(W_f, X + dx)
+//! ```
+//!
+//! defined for `HWS <= X <= 2^B - 1 - HWS` (the window must stay inside the
+//! operand range).
+
+/// The smoothed slice `S(W_f, ·)` of one AppMult row (Eq. 4).
+///
+/// `row` is `AM(W_f, X)` for `X = 0 .. 2^B - 1` and must have power-of-two
+/// length. The result assigns `Some(value)` inside the valid domain
+/// `HWS <= X <= 2^B - 1 - HWS` and `None` outside it (where Eq. 6 takes
+/// over in the gradient computation).
+///
+/// When `2 * hws + 1` exceeds the row length the valid domain is empty.
+///
+/// # Panics
+///
+/// Panics if `row` is empty or its length is not a power of two, or if
+/// `hws == 0`.
+///
+/// # Example
+///
+/// ```
+/// // A 4-point staircase: smoothing with HWS = 1 averages triples.
+/// let row = [0u32, 0, 8, 8];
+/// let s = appmult_retrain::smooth_row(&row, 1);
+/// assert_eq!(s, vec![
+///     None,
+///     Some((0.0 + 0.0 + 8.0) / 3.0),
+///     Some((0.0 + 8.0 + 8.0) / 3.0),
+///     None,
+/// ]);
+/// ```
+pub fn smooth_row(row: &[u32], hws: u32) -> Vec<Option<f64>> {
+    assert!(!row.is_empty() && row.len().is_power_of_two(), "row length must be 2^B");
+    assert!(hws >= 1, "half window size must be positive");
+    let n = row.len();
+    let hws = hws as usize;
+    let mut out = vec![None; n];
+    if 2 * hws + 1 > n {
+        return out; // empty valid domain; Eq. 6 covers everything
+    }
+    let inv = 1.0 / (2 * hws + 1) as f64;
+    // Sliding-window sum over X in [hws, n - 1 - hws].
+    let mut acc: f64 = row[..2 * hws + 1].iter().map(|&v| f64::from(v)).sum();
+    out[hws] = Some(acc * inv);
+    for x in hws + 1..n - hws {
+        acc += f64::from(row[x + hws]) - f64::from(row[x - hws - 1]);
+        out[x] = Some(acc * inv);
+    }
+    out
+}
+
+/// Total variation helper: `(max, min)` of a row, used by the Eq. 6
+/// boundary gradient.
+pub(crate) fn row_min_max(row: &[u32]) -> (u32, u32) {
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for &v in row {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_evaluation_of_eq4() {
+        // Pseudo-random 16-point row; compare sliding window vs direct sum.
+        let row: Vec<u32> = (0..16).map(|x| (x * x * 7 + 3) % 97).collect();
+        for hws in 1..=7u32 {
+            let s = smooth_row(&row, hws);
+            let h = hws as usize;
+            for x in 0..16usize {
+                if x >= h && x + h < 16 {
+                    let direct: f64 = (x - h..=x + h).map(|i| f64::from(row[i])).sum::<f64>()
+                        / (2 * h + 1) as f64;
+                    let got = s[x].expect("inside valid domain");
+                    assert!((got - direct).abs() < 1e-9, "hws={hws} x={x}");
+                } else {
+                    assert!(s[x].is_none(), "hws={hws} x={x} should be boundary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_smooths_to_itself() {
+        let row = [5u32; 32];
+        let s = smooth_row(&row, 4);
+        for x in 4..28 {
+            assert_eq!(s[x], Some(5.0));
+        }
+    }
+
+    #[test]
+    fn oversized_window_yields_empty_domain() {
+        let row = [1u32, 2, 3, 4];
+        let s = smooth_row(&row, 2);
+        assert!(s.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn linear_row_is_fixed_point() {
+        // Smoothing a linear function leaves it unchanged (moving average
+        // of an affine sequence).
+        let row: Vec<u32> = (0..64).map(|x| 3 * x).collect();
+        let s = smooth_row(&row, 5);
+        for x in 5..59usize {
+            assert!((s[x].expect("valid") - f64::from(3 * x as u32)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_max_helper() {
+        assert_eq!(row_min_max(&[4, 1, 9, 2]), (1, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length must be 2^B")]
+    fn rejects_non_power_of_two() {
+        smooth_row(&[1, 2, 3], 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared model-building configuration.
+
+use std::sync::Arc;
+
+use appmult_mult::MultiplierLut;
+use appmult_nn::layers::Conv2d;
+use appmult_nn::Module;
+use appmult_retrain::{ApproxConv2d, GradientLut, QuantConfig};
+
+/// Whether convolutions are accurate float or LUT-based approximate.
+#[derive(Clone)]
+pub enum ConvMode {
+    /// Standard float convolutions.
+    Accurate,
+    /// AppMult LUT convolutions with the given gradient tables.
+    Approximate {
+        /// Product LUT (forward path).
+        lut: Arc<MultiplierLut>,
+        /// Gradient LUT (backward path).
+        grads: Arc<GradientLut>,
+        /// Quantizer configuration.
+        config: QuantConfig,
+    },
+}
+
+impl std::fmt::Debug for ConvMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvMode::Accurate => write!(f, "Accurate"),
+            ConvMode::Approximate { lut, grads, .. } => write!(
+                f,
+                "Approximate({}, {})",
+                lut.name(),
+                grads.mode_label()
+            ),
+        }
+    }
+}
+
+impl ConvMode {
+    /// Convenience constructor for the approximate mode.
+    pub fn approximate(lut: Arc<MultiplierLut>, grads: Arc<GradientLut>) -> Self {
+        ConvMode::Approximate {
+            lut,
+            grads,
+            config: QuantConfig::default(),
+        }
+    }
+
+    /// Builds one convolution layer in this mode.
+    pub(crate) fn conv(
+        &self,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Box<dyn Module> {
+        match self {
+            ConvMode::Accurate => {
+                Box::new(Conv2d::new(in_c, out_c, kernel, stride, padding, seed))
+            }
+            ConvMode::Approximate { lut, grads, config } => Box::new(ApproxConv2d::new(
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                padding,
+                seed,
+                lut.clone(),
+                grads.clone(),
+                *config,
+            )),
+        }
+    }
+}
+
+/// Configuration shared by all model builders.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Input channels (3 for CIFAR-style data).
+    pub input_channels: usize,
+    /// Input spatial size `(height, width)`.
+    pub input_hw: (usize, usize),
+    /// Divisor applied to every base channel width (1 = paper scale).
+    pub width_div: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+    /// Convolution flavour.
+    pub conv: ConvMode,
+}
+
+impl ModelConfig {
+    /// Paper-scale CIFAR-10 configuration with accurate convolutions.
+    pub fn cifar10() -> Self {
+        Self {
+            num_classes: 10,
+            input_channels: 3,
+            input_hw: (32, 32),
+            width_div: 1,
+            seed: 42,
+            conv: ConvMode::Accurate,
+        }
+    }
+
+    /// Paper-scale CIFAR-100 configuration.
+    pub fn cifar100() -> Self {
+        Self {
+            num_classes: 100,
+            ..Self::cifar10()
+        }
+    }
+
+    /// A small configuration for unit tests and CPU-scale experiments:
+    /// 16x16 inputs, width divisor 4.
+    pub fn quick_test() -> Self {
+        Self {
+            num_classes: 10,
+            input_channels: 3,
+            input_hw: (16, 16),
+            width_div: 4,
+            seed: 42,
+            conv: ConvMode::Accurate,
+        }
+    }
+
+    /// Replaces the convolution mode (builder style).
+    pub fn with_conv(mut self, conv: ConvMode) -> Self {
+        self.conv = conv;
+        self
+    }
+
+    /// Scales a base channel count by the width divisor (minimum 4).
+    pub(crate) fn width(&self, base: usize) -> usize {
+        (base / self.width_div).max(4)
+    }
+}
+
+/// Copies every parameter of `src` into `dst`, matched by visitation order.
+///
+/// The accurate and approximate flavours of a model have identical
+/// parameter structure, so this implements the Fig. 1 flow: pretrain a
+/// float model, then transplant its weights into the AppMult version for
+/// quantization + retraining.
+///
+/// # Panics
+///
+/// Panics if the parameter counts or shapes differ.
+pub fn copy_params(src: &mut dyn Module, dst: &mut dyn Module) {
+    let mut values = vec![];
+    src.visit_params(&mut |p| values.push(p.value.clone()));
+    let mut idx = 0usize;
+    dst.visit_params(&mut |p| {
+        assert!(idx < values.len(), "destination has more parameters");
+        assert_eq!(
+            p.value.shape(),
+            values[idx].shape(),
+            "parameter {idx} shape mismatch"
+        );
+        p.value = values[idx].clone();
+        idx += 1;
+    });
+    assert_eq!(idx, values.len(), "source has more parameters");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_mult::{ExactMultiplier, Multiplier};
+    use appmult_retrain::GradientMode;
+
+    #[test]
+    fn width_scaling_floors_at_four() {
+        let cfg = ModelConfig {
+            width_div: 16,
+            ..ModelConfig::cifar10()
+        };
+        assert_eq!(cfg.width(64), 4);
+        assert_eq!(cfg.width(512), 32);
+    }
+
+    #[test]
+    fn conv_mode_builds_both_flavours() {
+        use appmult_nn::Tensor;
+        let lut = Arc::new(ExactMultiplier::new(8).to_lut());
+        let grads = Arc::new(GradientLut::build(&lut, GradientMode::Ste));
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let mut acc = ConvMode::Accurate.conv(3, 4, 3, 1, 1, 1);
+        let mut app = ConvMode::approximate(lut, grads).conv(3, 4, 3, 1, 1, 1);
+        assert_eq!(acc.forward(&x, true).shape(), &[1, 4, 8, 8]);
+        assert_eq!(app.forward(&x, true).shape(), &[1, 4, 8, 8]);
+        // Identical parameter structure (required by copy_params).
+        assert_eq!(acc.num_params(), app.num_params());
+    }
+
+    #[test]
+    fn copy_params_transplants_weights() {
+        use appmult_nn::Tensor;
+        let lut = Arc::new(ExactMultiplier::new(8).to_lut());
+        let grads = Arc::new(GradientLut::build(&lut, GradientMode::Ste));
+        let mut acc = ConvMode::Accurate.conv(2, 3, 3, 1, 1, 7);
+        let mut app = ConvMode::approximate(lut, grads).conv(2, 3, 3, 1, 1, 99);
+        copy_params(&mut *acc, &mut *app);
+        // With the exact LUT, outputs now agree up to quantization error.
+        let x = Tensor::from_vec(
+            (0..32).map(|i| (i as f32) / 16.0 - 1.0).collect(),
+            &[1, 2, 4, 4],
+        );
+        let ya = acc.forward(&x, true);
+        let yb = app.forward(&x, true);
+        for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
+            assert!((a - b).abs() < 0.08, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The accurate multiplier (AccMult).
+
+use appmult_circuit::MultiplierCircuit;
+
+use super::{assert_bits, assert_operands};
+use crate::multiplier::Multiplier;
+
+/// The exact unsigned multiplier (`mulBu_acc` rows of Table I).
+///
+/// # Example
+///
+/// ```
+/// use appmult_mult::{ExactMultiplier, Multiplier};
+///
+/// let m = ExactMultiplier::new(8);
+/// assert_eq!(m.multiply(255, 255), 65025);
+/// assert!(m.to_lut().is_exact());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExactMultiplier {
+    bits: u32,
+}
+
+impl ExactMultiplier {
+    /// Creates an exact `bits x bits` multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 10`.
+    pub fn new(bits: u32) -> Self {
+        assert_bits(bits);
+        Self { bits }
+    }
+}
+
+impl Multiplier for ExactMultiplier {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn name(&self) -> String {
+        format!("mul{}u_acc", self.bits)
+    }
+
+    fn multiply(&self, w: u32, x: u32) -> u32 {
+        assert_operands(self.bits, w, x);
+        w * x
+    }
+
+    fn circuit(&self) -> Option<MultiplierCircuit> {
+        Some(MultiplierCircuit::array(self.bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_follows_convention() {
+        assert_eq!(ExactMultiplier::new(7).name(), "mul7u_acc");
+    }
+
+    #[test]
+    fn circuit_matches_behaviour() {
+        let m = ExactMultiplier::new(5);
+        let c = m.circuit().expect("exact multiplier has a netlist");
+        let lut = c.exhaustive_products();
+        for w in 0..32u32 {
+            for x in 0..32u32 {
+                assert_eq!(lut[((w << 5) | x) as usize] as u32, m.multiply(w, x));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn rejects_oversized_operand() {
+        ExactMultiplier::new(4).multiply(16, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Lower-OR multiplier: OR-compress the low partial-product columns.
+
+use appmult_circuit::{DotColumns, MultiplierCircuit, Netlist, Signal};
+
+use super::{assert_bits, assert_operands};
+use crate::multiplier::Multiplier;
+
+/// A multiplier whose `low_columns` least-significant columns are compressed
+/// with a single OR per column instead of adders (the multiplier analogue of
+/// the classic lower-part-OR adder).
+///
+/// Product bits below the cut are `OR` of the column's partial products; no
+/// carries propagate from the low part into the exact high part. Errors are
+/// much smaller than plain truncation at nearly the same hardware cost.
+///
+/// # Example
+///
+/// ```
+/// use appmult_mult::{LowerOrMultiplier, Multiplier};
+///
+/// let m = LowerOrMultiplier::new(7, 6);
+/// // pp_00 is the only weight-0 term; OR keeps it: 1*1 = 1 survives.
+/// assert_eq!(m.multiply(1, 1), 1);
+/// // But multiple dots in a column saturate at a single 1.
+/// assert!(m.multiply(3, 3) <= 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LowerOrMultiplier {
+    bits: u32,
+    low_columns: u32,
+}
+
+impl LowerOrMultiplier {
+    /// Creates the design with the `low_columns` rightmost columns
+    /// OR-compressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 10` and `low_columns < 2 * bits - 1`.
+    pub fn new(bits: u32, low_columns: u32) -> Self {
+        assert_bits(bits);
+        assert!(low_columns < 2 * bits - 1, "cut must leave exact columns");
+        Self { bits, low_columns }
+    }
+
+    /// Number of OR-compressed columns.
+    pub fn low_columns(&self) -> u32 {
+        self.low_columns
+    }
+}
+
+impl Multiplier for LowerOrMultiplier {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn name(&self) -> String {
+        format!("mul{}u_lo{}", self.bits, self.low_columns)
+    }
+
+    fn multiply(&self, w: u32, x: u32) -> u32 {
+        assert_operands(self.bits, w, x);
+        let k = self.low_columns;
+        let mut high = 0u32;
+        let mut low = 0u32;
+        for i in 0..self.bits {
+            if (w >> i) & 1 == 0 {
+                continue;
+            }
+            for j in 0..self.bits {
+                if (x >> j) & 1 == 0 {
+                    continue;
+                }
+                let c = i + j;
+                if c >= k {
+                    high += 1 << c;
+                } else {
+                    low |= 1 << c;
+                }
+            }
+        }
+        // The exact high sum is a multiple of 2^k, so the OR bits slot in
+        // without carry interaction.
+        high + low
+    }
+
+    fn circuit(&self) -> Option<MultiplierCircuit> {
+        let bits = self.bits;
+        let k = self.low_columns;
+        let mut nl = Netlist::new();
+        let w: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+        let x: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+        let mut dots = DotColumns::new(2 * bits as usize);
+        let mut low_or: Vec<Option<Signal>> = vec![None; k as usize];
+        for i in 0..bits {
+            for j in 0..bits {
+                let c = i + j;
+                let pp = nl.and(w[i as usize], x[j as usize]);
+                if c >= k {
+                    dots.push(c as usize, pp);
+                } else {
+                    let slot = &mut low_or[c as usize];
+                    *slot = Some(match *slot {
+                        Some(acc) => nl.or(acc, pp),
+                        None => pp,
+                    });
+                }
+            }
+        }
+        let mut outs = dots.reduce_ripple(&mut nl);
+        for c in 0..k as usize {
+            if let Some(sig) = low_or[c] {
+                outs[c] = sig;
+            }
+        }
+        nl.set_outputs(outs);
+        MultiplierCircuit::from_netlist(nl, bits).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::TruncatedMultiplier;
+    use crate::metrics::ErrorMetrics;
+
+    #[test]
+    fn circuit_matches_behaviour() {
+        let m = LowerOrMultiplier::new(6, 5);
+        let lut = m.to_lut();
+        let c = m.circuit().expect("has circuit");
+        let cl = c.exhaustive_products();
+        for w in 0..64u32 {
+            for x in 0..64u32 {
+                assert_eq!(cl[((w << 6) | x) as usize] as u32, lut.product(w, x));
+            }
+        }
+    }
+
+    #[test]
+    fn never_worse_than_truncation() {
+        let lo = LowerOrMultiplier::new(7, 6);
+        let rm = TruncatedMultiplier::new(7, 6);
+        for &(w, x) in &[(127u32, 127u32), (3, 3), (85, 42), (1, 127)] {
+            let exact = w * x;
+            assert!(lo.multiply(w, x) >= rm.multiply(w, x));
+            assert!(lo.multiply(w, x) <= exact);
+        }
+    }
+
+    #[test]
+    fn nmed_below_matching_truncation() {
+        let lo = ErrorMetrics::exhaustive(&LowerOrMultiplier::new(7, 6).to_lut());
+        let rm = ErrorMetrics::exhaustive(&TruncatedMultiplier::new(7, 6).to_lut());
+        assert!(lo.nmed < rm.nmed);
+        assert!(lo.max_ed < rm.max_ed);
+    }
+
+    #[test]
+    fn single_dot_columns_stay_exact() {
+        // With one partial product in a column, OR == ADD; errors need >= 2 dots.
+        let m = LowerOrMultiplier::new(6, 5);
+        for x in 0..64 {
+            assert_eq!(m.multiply(1, x), x, "1 * {x}");
+            assert_eq!(m.multiply(x, 1), x, "{x} * 1");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Mitchell logarithmic multiplier.
+
+use super::{assert_bits, assert_operands};
+use crate::multiplier::Multiplier;
+
+/// Fixed-point fraction bits used for the logarithm approximation.
+const FRAC: u32 = 16;
+
+/// Mitchell's logarithmic multiplier: `w * x ≈ 2^(log2~(w) + log2~(x))`
+/// with the binary logarithm approximated by leading-one position plus the
+/// linear mantissa.
+///
+/// Included for library completeness (it is a classic high-error,
+/// low-hardware design family); not mapped to a Table I entry. The
+/// approximation always underestimates, with relative error up to ~11.1%.
+///
+/// # Example
+///
+/// ```
+/// use appmult_mult::{MitchellMultiplier, Multiplier};
+///
+/// let m = MitchellMultiplier::new(8);
+/// // Powers of two are exact.
+/// assert_eq!(m.multiply(64, 4), 256);
+/// // Everything else underestimates by at most ~11.1%.
+/// let y = m.multiply(100, 200) as f64;
+/// assert!(y <= 20000.0 && y >= 20000.0 * 0.888);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MitchellMultiplier {
+    bits: u32,
+}
+
+impl MitchellMultiplier {
+    /// Creates the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 10`.
+    pub fn new(bits: u32) -> Self {
+        assert_bits(bits);
+        Self { bits }
+    }
+
+    /// Fixed-point `log2` approximation: characteristic in the integer part,
+    /// linear mantissa in the `FRAC` fractional bits.
+    fn log2_fixed(v: u32) -> u64 {
+        debug_assert!(v > 0);
+        let p = 31 - v.leading_zeros();
+        let mantissa = ((v as u64 - (1u64 << p)) << FRAC) >> p;
+        ((p as u64) << FRAC) | mantissa
+    }
+}
+
+impl Multiplier for MitchellMultiplier {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn name(&self) -> String {
+        format!("mul{}u_log", self.bits)
+    }
+
+    fn multiply(&self, w: u32, x: u32) -> u32 {
+        assert_operands(self.bits, w, x);
+        if w == 0 || x == 0 {
+            return 0;
+        }
+        let sum = Self::log2_fixed(w) + Self::log2_fixed(x);
+        let c = (sum >> FRAC) as u32;
+        let f = sum & ((1u64 << FRAC) - 1);
+        // 2^(c + f) ~ 2^c * (1 + f)  (Mitchell's antilog approximation)
+        let y = (1u64 << c) + ((f << c) >> FRAC);
+        y as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ErrorMetrics;
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        let m = MitchellMultiplier::new(8);
+        for i in 0..8 {
+            for j in 0..8 {
+                if i + j < 16 {
+                    assert_eq!(m.multiply(1 << i, 1 << j), 1u32 << (i + j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_stays_zero() {
+        let m = MitchellMultiplier::new(8);
+        assert_eq!(m.multiply(0, 200), 0);
+        assert_eq!(m.multiply(200, 0), 0);
+    }
+
+    #[test]
+    fn underestimates_with_bounded_relative_error() {
+        let m = MitchellMultiplier::new(8);
+        for w in 1..256u32 {
+            for x in 1..256u32 {
+                let y = m.multiply(w, x);
+                let exact = w * x;
+                assert!(y <= exact, "{w}*{x}: {y} > {exact}");
+                assert!(
+                    y as f64 >= exact as f64 * 0.885,
+                    "{w}*{x}: {y} too small vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mred_matches_mitchell_theory() {
+        // Mitchell's mean relative error for uniform inputs is ~3.8%.
+        let metrics = ErrorMetrics::exhaustive(&MitchellMultiplier::new(8).to_lut());
+        assert!(metrics.mred_pct() > 2.0 && metrics.mred_pct() < 6.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Approximate multiplier design families.
+//!
+//! Each family implements [`crate::Multiplier`] behaviourally, and — where a
+//! natural gate-level structure exists — also provides a netlist through
+//! [`crate::Multiplier::circuit`] for the hardware cost model.
+//!
+//! | Family | Approximation idea | Gate-level? |
+//! |---|---|---|
+//! | [`ExactMultiplier`] | none (AccMult) | yes |
+//! | [`TruncatedMultiplier`] | remove rightmost partial-product columns (Fig. 2) | yes |
+//! | [`BrokenTruncatedMultiplier`] | truncation plus partial removal of the next column | yes |
+//! | [`CompensatedTruncatedMultiplier`] | truncation plus a gated constant compensation | yes |
+//! | [`LowerOrMultiplier`] | OR-compress the low columns instead of adding | yes |
+//! | [`Recursive2x2Multiplier`] | Kulkarni-style approximate 2x2 building blocks | yes |
+//! | [`SegmentedMultiplier`] | DRUM-style leading-one segment multiplication | yes |
+//! | [`MitchellMultiplier`] | logarithmic (Mitchell) approximation | no |
+//! | [`CompressorMultiplier`] | approximate OR-based 4:2 compressors | yes |
+//! | [`SynthesizedMultiplier`] | greedy ALS rewrites of the exact array | yes |
+
+mod compressor;
+mod exact;
+mod lower_or;
+mod mitchell;
+mod recursive;
+mod segmented;
+mod synthesized;
+mod truncated;
+
+pub use compressor::CompressorMultiplier;
+pub use exact::ExactMultiplier;
+pub use lower_or::LowerOrMultiplier;
+pub use mitchell::MitchellMultiplier;
+pub use recursive::Recursive2x2Multiplier;
+pub use segmented::SegmentedMultiplier;
+pub use synthesized::SynthesizedMultiplier;
+pub use truncated::{
+    BrokenTruncatedMultiplier, CompensatedTruncatedMultiplier, TruncatedMultiplier,
+};
+
+pub(crate) fn assert_bits(bits: u32) {
+    assert!(bits >= 2 && bits <= 10, "bits must be in 2..=10, got {bits}");
+}
+
+pub(crate) fn assert_operands(bits: u32, w: u32, x: u32) {
+    assert!(
+        w < (1 << bits) && x < (1 << bits),
+        "operands ({w}, {x}) must fit in {bits} bits"
+    );
+}

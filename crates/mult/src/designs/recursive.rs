@@ -1,0 +1,229 @@
+//! Recursive multiplier built from approximate 2x2 blocks.
+
+use appmult_circuit::{DotColumns, MultiplierCircuit, Netlist, Signal};
+
+use super::{assert_bits, assert_operands};
+use crate::multiplier::Multiplier;
+
+/// A multiplier decomposed into 2-bit digit products, where low-significance
+/// blocks use the classic underdesigned 2x2 block (`3 x 3 -> 7` instead of
+/// 9, everything else exact).
+///
+/// A block multiplying digit `i` of `w` by digit `j` of `x` is approximated
+/// iff `i + j < approx_threshold`; raising the threshold trades accuracy for
+/// hardware. Threshold 0 is exact.
+///
+/// # Example
+///
+/// ```
+/// use appmult_mult::{Multiplier, Recursive2x2Multiplier};
+///
+/// let m = Recursive2x2Multiplier::new(8, 3);
+/// // No digit pair multiplies 3 x 3 here, so the result is exact.
+/// assert_eq!(m.multiply(0b01_01_01_01, 2), 0b01_01_01_01 * 2);
+/// // 3 x 3 in an approximated block loses 2.
+/// assert_eq!(m.multiply(3, 3), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Recursive2x2Multiplier {
+    bits: u32,
+    approx_threshold: u32,
+}
+
+impl Recursive2x2Multiplier {
+    /// Creates the design; blocks with digit significance `i + j` below
+    /// `approx_threshold` are approximated.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 10`. The threshold saturates at the
+    /// maximum digit significance, so any value is accepted.
+    pub fn new(bits: u32, approx_threshold: u32) -> Self {
+        assert_bits(bits);
+        Self {
+            bits,
+            approx_threshold,
+        }
+    }
+
+    /// Number of 2-bit digits per operand.
+    fn digits(&self) -> u32 {
+        self.bits.div_ceil(2)
+    }
+
+    /// The block-level approximation threshold.
+    pub fn approx_threshold(&self) -> u32 {
+        self.approx_threshold
+    }
+}
+
+/// The underdesigned 2x2 block: exact except `3 * 3 = 7`.
+fn approx_block(a: u32, b: u32) -> u32 {
+    debug_assert!(a < 4 && b < 4);
+    if a == 3 && b == 3 {
+        7
+    } else {
+        a * b
+    }
+}
+
+impl Multiplier for Recursive2x2Multiplier {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn name(&self) -> String {
+        format!("mul{}u_k2t{}", self.bits, self.approx_threshold)
+    }
+
+    fn multiply(&self, w: u32, x: u32) -> u32 {
+        assert_operands(self.bits, w, x);
+        let nd = self.digits();
+        let mut acc = 0u32;
+        for i in 0..nd {
+            let dw = (w >> (2 * i)) & 3;
+            for j in 0..nd {
+                let dx = (x >> (2 * j)) & 3;
+                let block = if i + j < self.approx_threshold {
+                    approx_block(dw, dx)
+                } else {
+                    dw * dx
+                };
+                acc += block << (2 * (i + j));
+            }
+        }
+        // 3*3 -> 7 underestimates, so no overflow beyond the exact product.
+        acc
+    }
+
+    fn circuit(&self) -> Option<MultiplierCircuit> {
+        let bits = self.bits;
+        let nd = self.digits();
+        let mut nl = Netlist::new();
+        let w: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+        let x: Vec<Signal> = (0..bits).map(|_| nl.input()).collect();
+        // For odd widths the top digit's high bit is absent (constant 0);
+        // blocks degrade gracefully by omitting the affected gates.
+        let digit = |bus: &[Signal], d: u32| -> (Signal, Option<Signal>) {
+            let lo = bus[(2 * d) as usize];
+            let hi = bus.get((2 * d + 1) as usize).copied();
+            (lo, hi)
+        };
+        let mut dots = DotColumns::new(2 * bits as usize);
+        let push = |dots: &mut DotColumns, weight: usize, sig: Signal| {
+            if weight < 2 * bits as usize {
+                dots.push(weight, sig);
+            }
+        };
+        for i in 0..nd {
+            let (a0, a1) = digit(&w, i);
+            for j in 0..nd {
+                let (b0, b1) = digit(&x, j);
+                let base = 2 * (i + j) as usize;
+                let y0 = nl.and(a0, b0);
+                push(&mut dots, base, y0);
+                match (a1, b1) {
+                    (None, None) => {}
+                    (Some(a1), None) => {
+                        let t = nl.and(a1, b0);
+                        push(&mut dots, base + 1, t);
+                    }
+                    (None, Some(b1)) => {
+                        let t = nl.and(a0, b1);
+                        push(&mut dots, base + 1, t);
+                    }
+                    (Some(a1), Some(b1)) => {
+                        let p = nl.and(a1, b0);
+                        let q = nl.and(a0, b1);
+                        let r = nl.and(a1, b1);
+                        if i + j < self.approx_threshold {
+                            // Underdesigned block: y1 = p | q, y2 = r, no carry.
+                            let y1 = nl.or(p, q);
+                            push(&mut dots, base + 1, y1);
+                            push(&mut dots, base + 2, r);
+                        } else {
+                            // Exact block: y1 = p ^ q with carry into y2/y3.
+                            let y1 = nl.xor(p, q);
+                            let c1 = nl.and(p, q);
+                            let y2 = nl.xor(r, c1);
+                            let y3 = nl.and(r, c1);
+                            push(&mut dots, base + 1, y1);
+                            push(&mut dots, base + 2, y2);
+                            push(&mut dots, base + 3, y3);
+                        }
+                    }
+                }
+            }
+        }
+        let outs = dots.reduce_ripple(&mut nl);
+        nl.set_outputs(outs);
+        MultiplierCircuit::from_netlist(nl, bits).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ErrorMetrics;
+
+    #[test]
+    fn threshold_zero_is_exact() {
+        for bits in [4u32, 5, 6, 7] {
+            let m = Recursive2x2Multiplier::new(bits, 0);
+            let metrics = ErrorMetrics::exhaustive(&m.to_lut());
+            assert_eq!(metrics.max_ed, 0, "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn circuit_matches_behaviour_even_width() {
+        let m = Recursive2x2Multiplier::new(6, 3);
+        let lut = m.to_lut();
+        let cl = m.circuit().expect("has circuit").exhaustive_products();
+        for w in 0..64u32 {
+            for x in 0..64u32 {
+                assert_eq!(cl[((w << 6) | x) as usize] as u32, lut.product(w, x));
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_matches_behaviour_odd_width() {
+        let m = Recursive2x2Multiplier::new(7, 4);
+        let lut = m.to_lut();
+        let cl = m.circuit().expect("has circuit").exhaustive_products();
+        for w in 0..128u32 {
+            for x in 0..128u32 {
+                assert_eq!(
+                    cl[((w << 7) | x) as usize] as u32,
+                    lut.product(w, x),
+                    "{w}*{x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_threshold_means_more_error() {
+        let low = ErrorMetrics::exhaustive(&Recursive2x2Multiplier::new(8, 2).to_lut());
+        let high = ErrorMetrics::exhaustive(&Recursive2x2Multiplier::new(8, 6).to_lut());
+        assert!(high.nmed > low.nmed);
+    }
+
+    #[test]
+    fn always_underestimates() {
+        let m = Recursive2x2Multiplier::new(8, 7);
+        for &(w, x) in &[(255u32, 255u32), (204, 51), (3, 3), (63, 192)] {
+            assert!(m.multiply(w, x) <= w * x);
+        }
+    }
+
+    #[test]
+    fn only_double_three_digit_pairs_err() {
+        let m = Recursive2x2Multiplier::new(4, 10);
+        // 0b0011 * 0b0011 = one approximated 3x3 block.
+        assert_eq!(m.multiply(3, 3), 7);
+        // 0b0010 * 0b0011: 2 * 3 blocks stay exact.
+        assert_eq!(m.multiply(2, 3), 6);
+    }
+}

@@ -1,0 +1,167 @@
+//! Signed extension of the unsigned AppMult library.
+//!
+//! The paper (Sec. III) notes that the method "can be easily extended to
+//! signed AppMults". This module provides that extension at the multiplier
+//! level: a sign-magnitude wrapper around any unsigned core, and an
+//! offset-binary LUT exporter so signed designs can flow through the same
+//! gradient machinery (the gradient builder only sees a `2^(2B)`-entry
+//! table and is agnostic to the code interpretation).
+
+use crate::multiplier::{Multiplier, MultiplierLut};
+
+/// A signed multiplier built from an unsigned approximate core with
+/// sign-magnitude decomposition: `AM_s(w, x) = sign(w)·sign(x) ·
+/// AM(|w|, |x|)`.
+///
+/// Operands range over `[-(2^B - 1), 2^B - 1]` (sign-magnitude has no
+/// asymmetric minimum). This matches how signed approximate multipliers are
+/// usually derived from unsigned cores in hardware: the magnitude datapath
+/// is shared and the product sign is an XOR.
+///
+/// # Example
+///
+/// ```
+/// use appmult_mult::{SignMagnitudeMultiplier, TruncatedMultiplier};
+///
+/// let m = SignMagnitudeMultiplier::new(TruncatedMultiplier::new(8, 8));
+/// let y = m.multiply_signed(-100, 50);
+/// assert!(y <= 0 && y >= -5000);
+/// assert_eq!(m.multiply_signed(-100, -50), -y.abs() * -1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignMagnitudeMultiplier<M> {
+    core: M,
+}
+
+impl<M: Multiplier> SignMagnitudeMultiplier<M> {
+    /// Wraps an unsigned core.
+    pub fn new(core: M) -> Self {
+        Self { core }
+    }
+
+    /// The wrapped unsigned multiplier.
+    pub fn core(&self) -> &M {
+        &self.core
+    }
+
+    /// Operand bit width of the magnitude datapath.
+    pub fn bits(&self) -> u32 {
+        self.core.bits()
+    }
+
+    /// Signed approximate product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a magnitude does not fit in `B` bits.
+    pub fn multiply_signed(&self, w: i32, x: i32) -> i64 {
+        let limit = (1i32 << self.bits()) - 1;
+        assert!(
+            w.abs() <= limit && x.abs() <= limit,
+            "magnitudes must fit in {} bits",
+            self.bits()
+        );
+        let mag = i64::from(self.core.multiply(w.unsigned_abs(), x.unsigned_abs()));
+        if (w < 0) ^ (x < 0) {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Exports an offset-binary product LUT over `2^(2B)` entries so the
+    /// signed design can drive the standard gradient builder.
+    ///
+    /// Codes map to values as `value = code - 2^(B-1)` (excess representation,
+    /// covering `[-2^(B-1), 2^(B-1) - 1]`); products are stored re-offset
+    /// into the non-negative `2B`-bit range as
+    /// `stored = product + 2^(2B-1)`.
+    pub fn to_offset_lut(&self) -> MultiplierLut {
+        let b = self.bits();
+        let n = 1usize << b;
+        let half = (n / 2) as i32;
+        let offset = 1i64 << (2 * b - 1);
+        let mut products = Vec::with_capacity(n * n);
+        for wc in 0..n as i32 {
+            for xc in 0..n as i32 {
+                let w = wc - half;
+                let x = xc - half;
+                let p = self.multiply_signed(w, x) + offset;
+                debug_assert!(p >= 0 && p < (1i64 << (2 * b)));
+                products.push(p as u32);
+            }
+        }
+        MultiplierLut::from_entries(format!("{}_signed", self.core.name()), b, products)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{ExactMultiplier, TruncatedMultiplier};
+
+    #[test]
+    fn exact_core_gives_exact_signed_products() {
+        let m = SignMagnitudeMultiplier::new(ExactMultiplier::new(6));
+        for w in -63i32..=63 {
+            for x in [-63i32, -17, -1, 0, 1, 30, 63] {
+                assert_eq!(m.multiply_signed(w, x), i64::from(w) * i64::from(x));
+            }
+        }
+    }
+
+    #[test]
+    fn sign_rules_hold_for_approximate_cores() {
+        let m = SignMagnitudeMultiplier::new(TruncatedMultiplier::new(7, 6));
+        for &(w, x) in &[(100i32, 50i32), (100, -50), (-100, 50), (-100, -50)] {
+            let y = m.multiply_signed(w, x);
+            let expected_sign = (i64::from(w) * i64::from(x)).signum();
+            assert!(
+                y.signum() == expected_sign || y == 0,
+                "{w}*{x} -> {y}"
+            );
+            // Magnitude is shared across all four quadrants.
+            assert_eq!(y.abs(), m.multiply_signed(w.abs(), x.abs()));
+        }
+    }
+
+    #[test]
+    fn commutative_when_core_is() {
+        let m = SignMagnitudeMultiplier::new(ExactMultiplier::new(5));
+        for &(w, x) in &[(-20i32, 13i32), (7, -31), (-1, -1)] {
+            assert_eq!(m.multiply_signed(w, x), m.multiply_signed(x, w));
+        }
+    }
+
+    #[test]
+    fn offset_lut_round_trips_values() {
+        let m = SignMagnitudeMultiplier::new(ExactMultiplier::new(4));
+        let lut = m.to_offset_lut();
+        let half = 8i32;
+        let offset = 1i64 << 7;
+        for wc in 0..16u32 {
+            for xc in 0..16u32 {
+                let w = wc as i32 - half;
+                let x = xc as i32 - half;
+                let stored = i64::from(lut.product(wc, xc));
+                assert_eq!(stored - offset, i64::from(w) * i64::from(x), "{w}*{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_lut_feeds_the_gradient_pipeline_shape() {
+        // The exported table has exactly the layout GradientLut expects.
+        let m = SignMagnitudeMultiplier::new(TruncatedMultiplier::new(5, 3));
+        let lut = m.to_offset_lut();
+        assert_eq!(lut.bits(), 5);
+        assert_eq!(lut.entries().len(), 1 << 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "magnitudes must fit")]
+    fn rejects_oversized_magnitude() {
+        let m = SignMagnitudeMultiplier::new(ExactMultiplier::new(4));
+        m.multiply_signed(16, 0);
+    }
+}

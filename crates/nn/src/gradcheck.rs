@@ -1,0 +1,217 @@
+//! Finite-difference gradient checking.
+//!
+//! The whole point of this workspace is custom backward passes, so every
+//! layer is validated against central finite differences. The check drives
+//! the module with a fixed random linear functional `L(out) = <c, out>`
+//! whose analytic gradient w.r.t. the output is simply `c`.
+//!
+//! Only applicable to *deterministic* modules (no dropout): the module is
+//! re-run many times and must compute the same function each time.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::module::Module;
+use crate::tensor::Tensor;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Worst relative error across all checked coordinates.
+    pub max_rel_err: f64,
+    /// Number of coordinates compared.
+    pub checked: usize,
+    /// Description of the worst coordinate.
+    pub worst: String,
+}
+
+impl GradCheckReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "max rel err {:.4} over {} coords (worst: {})",
+            self.max_rel_err, self.checked, self.worst
+        )
+    }
+}
+
+/// Relative error with an absolute floor so tiny gradients compare sanely.
+fn rel_err(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs()).max(0.1);
+    (a - b).abs() / denom
+}
+
+/// Checks analytic input and parameter gradients of `module` against
+/// central finite differences at `input`.
+///
+/// `seed` fixes the random output functional; `eps` is the perturbation
+/// step. Up to 64 coordinates of the input and of each parameter are
+/// sampled (all of them when smaller).
+///
+/// # Panics
+///
+/// Panics if the module's forward pass panics.
+pub fn check_module(module: &mut dyn Module, input: &Tensor, seed: u64, eps: f32) -> GradCheckReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out0 = module.forward(input, true);
+    let coeffs = Tensor::from_vec(
+        (0..out0.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        out0.shape(),
+    );
+
+    // Analytic pass.
+    module.zero_grad();
+    let grad_in = module.backward(&coeffs);
+    assert_eq!(grad_in.shape(), input.shape(), "input gradient shape");
+    let mut param_grads: Vec<Tensor> = vec![];
+    module.visit_params(&mut |p| param_grads.push(p.grad.clone()));
+
+    let loss = |module: &mut dyn Module, x: &Tensor| -> f64 {
+        let out = module.forward(x, true);
+        f64::from(out.dot(&coeffs))
+    };
+
+    let mut report = GradCheckReport {
+        max_rel_err: 0.0,
+        checked: 0,
+        worst: String::from("none"),
+    };
+    let note = |report: &mut GradCheckReport, analytic: f64, fd: f64, what: String| {
+        let e = rel_err(analytic, fd);
+        report.checked += 1;
+        if e > report.max_rel_err {
+            report.max_rel_err = e;
+            report.worst = format!("{what}: analytic {analytic:.5} vs fd {fd:.5}");
+        }
+    };
+
+    // Input coordinates.
+    let mut x = input.clone();
+    for i in sample_indices(input.len(), 64, &mut rng) {
+        let orig = x.as_slice()[i];
+        x.as_mut_slice()[i] = orig + eps;
+        let lp = loss(module, &x);
+        x.as_mut_slice()[i] = orig - eps;
+        let lm = loss(module, &x);
+        x.as_mut_slice()[i] = orig;
+        let fd = (lp - lm) / (2.0 * f64::from(eps));
+        note(
+            &mut report,
+            f64::from(grad_in.as_slice()[i]),
+            fd,
+            format!("input[{i}]"),
+        );
+    }
+
+    // Parameter coordinates: perturb via visit_params.
+    let num_params = param_grads.len();
+    for pi in 0..num_params {
+        let plen = param_grads[pi].len();
+        for k in sample_indices(plen, 64, &mut rng) {
+            let mut orig = 0.0f32;
+            perturb(module, pi, k, eps, &mut orig);
+            let lp = loss(module, input);
+            restore_then_perturb(module, pi, k, orig, -eps);
+            let lm = loss(module, input);
+            restore(module, pi, k, orig);
+            let fd = (lp - lm) / (2.0 * f64::from(eps));
+            note(
+                &mut report,
+                f64::from(param_grads[pi].as_slice()[k]),
+                fd,
+                format!("param[{pi}][{k}]"),
+            );
+        }
+    }
+    report
+}
+
+fn sample_indices(len: usize, max: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    if len <= max {
+        (0..len).collect()
+    } else {
+        (0..max).map(|_| rng.gen_range(0..len)).collect()
+    }
+}
+
+fn perturb(module: &mut dyn Module, target: usize, k: usize, eps: f32, orig: &mut f32) {
+    let mut idx = 0usize;
+    module.visit_params(&mut |p| {
+        if idx == target {
+            *orig = p.value.as_slice()[k];
+            p.value.as_mut_slice()[k] = *orig + eps;
+        }
+        idx += 1;
+    });
+}
+
+fn restore_then_perturb(module: &mut dyn Module, target: usize, k: usize, orig: f32, eps: f32) {
+    let mut idx = 0usize;
+    module.visit_params(&mut |p| {
+        if idx == target {
+            p.value.as_mut_slice()[k] = orig + eps;
+        }
+        idx += 1;
+    });
+}
+
+fn restore(module: &mut dyn Module, target: usize, k: usize, orig: f32) {
+    let mut idx = 0usize;
+    module.visit_params(&mut |p| {
+        if idx == target {
+            p.value.as_mut_slice()[k] = orig;
+        }
+        idx += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::module::Parameter;
+
+    #[test]
+    fn passes_for_a_correct_layer() {
+        let mut fc = Linear::new(3, 3, 1);
+        let x = Tensor::from_vec(vec![0.2, -0.8, 1.4], &[1, 3]);
+        let r = check_module(&mut fc, &x, 2, 1e-2);
+        assert!(r.max_rel_err < 0.01, "{}", r.summary());
+        assert!(r.checked > 0);
+    }
+
+    /// A deliberately broken layer: backward returns 2x the right gradient.
+    #[derive(Debug)]
+    struct Broken {
+        inner: Linear,
+    }
+    impl Module for Broken {
+        fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+            self.inner.forward(input, train)
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            self.inner.backward(grad_out).scale(2.0)
+        }
+        fn visit_params(&mut self, v: &mut dyn FnMut(&mut Parameter)) {
+            self.inner.visit_params(v)
+        }
+    }
+
+    #[test]
+    fn catches_a_broken_backward() {
+        let mut broken = Broken {
+            inner: Linear::new(3, 3, 4),
+        };
+        let x = Tensor::from_vec(vec![0.5, 0.5, -0.5], &[1, 3]);
+        let r = check_module(&mut broken, &x, 2, 1e-2);
+        assert!(r.max_rel_err > 0.3, "should detect the 2x bug: {}", r.summary());
+    }
+
+    #[test]
+    fn summary_mentions_worst_coordinate() {
+        let mut fc = Linear::new(2, 2, 9);
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
+        let r = check_module(&mut fc, &x, 5, 1e-2);
+        assert!(r.summary().contains("max rel err"));
+    }
+}

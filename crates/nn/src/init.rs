@@ -1,0 +1,78 @@
+//! Weight initialization.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming (He) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// Deterministic for a given seed; every model in this workspace is
+/// reproducible end to end.
+///
+/// # Example
+///
+/// ```
+/// let w = appmult_nn::init::kaiming_normal(&[16, 8, 3, 3], 8 * 3 * 3, 1);
+/// assert_eq!(w.shape(), &[16, 8, 3, 3]);
+/// ```
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| (sample_standard_normal(&mut rng) * std) as f32)
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Uniform initialization in `[-bound, bound]` with
+/// `bound = 1 / sqrt(fan_in)` (the classic linear-layer default).
+pub fn uniform_fan_in(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = 1.0 / (fan_in as f64).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| rng.gen_range(-bound..bound) as f32)
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Box-Muller standard normal sample.
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_normal(&[4, 4], 4, 7);
+        let b = kaiming_normal(&[4, 4], 4, 7);
+        let c = kaiming_normal(&[4, 4], 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kaiming_std_tracks_fan_in() {
+        let w = kaiming_normal(&[10000], 50, 1);
+        let var: f32 =
+            w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let expect = 2.0 / 50.0;
+        assert!((var - expect).abs() / expect < 0.1, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let w = uniform_fan_in(&[1000], 16, 3);
+        let bound = 0.25;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+        let (lo, hi) = w.min_max();
+        assert!(lo < -0.1 && hi > 0.1, "should fill the range: {lo}..{hi}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Activation functions.
+
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{layers::Relu, Module, Tensor};
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]), true);
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        self.shape = input.shape().to_vec();
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.shape(), &self.shape[..], "gradient shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+/// Logistic sigmoid: `y = 1 / (1 + e^-x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), y.shape(), "gradient shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&g, &s)| g * s * (1.0 - s))
+            .collect();
+        Tensor::from_vec(data, y.shape())
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+/// Hyperbolic tangent activation (used by the classic LeNet-5 formulation).
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), y.shape(), "gradient shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&g, &t)| g * (1.0 - t * t))
+            .collect();
+        Tensor::from_vec(data, y.shape())
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_saturates_and_centres() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(vec![-20.0, 0.0, 20.0], &[3]), true);
+        assert!(y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![-1.5, -0.2, 0.4, 2.0], &[4]);
+        let r = crate::gradcheck::check_module(&mut s, &x, 8, 1e-3);
+        assert!(r.max_rel_err < 0.01, "{}", r.summary());
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![-2.0, -0.3, 0.0, 0.9], &[4]);
+        let r = crate::gradcheck::check_module(&mut t, &x, 9, 1e-3);
+        assert!(r.max_rel_err < 0.01, "{}", r.summary());
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor::from_vec(vec![1.3, -1.3], &[2]), true);
+        assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_masks_negative_inputs() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]);
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
+        // Note x == 0 gets zero gradient (subgradient convention).
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gradcheck_away_from_kink() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, -0.4, 0.7, 2.0], &[4]);
+        let report = crate::gradcheck::check_module(&mut relu, &x, 3, 1e-3);
+        assert!(report.max_rel_err < 0.01, "{}", report.summary());
+    }
+
+    #[test]
+    fn has_no_params() {
+        let mut relu = Relu::new();
+        assert_eq!(relu.num_params(), 0);
+    }
+}

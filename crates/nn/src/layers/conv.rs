@@ -1,0 +1,441 @@
+//! 2-D convolution via im2col, plus the shared im2col/col2im kernels.
+//!
+//! The im2col representation is the backbone of the whole workspace: the
+//! approximate LUT-based convolution in `appmult-retrain` reuses
+//! [`im2col`] / [`col2im`] and replaces only the inner product.
+
+use crate::init::kaiming_normal;
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// Static shape description of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// A stride-1 convolution with "same" padding for odd kernels.
+    pub fn same(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+        }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields an empty output.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).checked_sub(self.kernel).map(|v| v / self.stride + 1);
+        let ow = (w + 2 * self.padding).checked_sub(self.kernel).map(|v| v / self.stride + 1);
+        match (oh, ow) {
+            (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
+            _ => panic!("convolution output is empty for input {h}x{w} with {self:?}"),
+        }
+    }
+
+    /// Length of one im2col row: `Cin * k * k`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfolds an NCHW batch into patch rows.
+///
+/// Output shape `[N * OH * OW, Cin * k * k]`; row `(n * OH + oh) * OW + ow`
+/// holds the receptive field of output pixel `(n, oh, ow)` with channel as
+/// the slowest axis. Out-of-bounds (padding) taps are zero.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or its channel count mismatches `spec`.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let shape = input.shape();
+    assert_eq!(shape.len(), 4, "expected NCHW input");
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let patch = spec.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let data = input.as_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                for ci in 0..c {
+                    let base_in = (ni * c + ci) * h * w;
+                    let base_out = row + ci * k * k;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[base_out + ky * k + kx] =
+                                data[base_in + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, patch])
+}
+
+/// Folds patch-row gradients back into an NCHW gradient (the adjoint of
+/// [`im2col`]): overlapping taps accumulate.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape `im2col` would produce for an
+/// `[n, spec.in_channels, h, w]` input.
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    let patch = spec.patch_len();
+    assert_eq!(
+        cols.shape(),
+        &[n * oh * ow, patch],
+        "col gradient shape mismatch"
+    );
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.as_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                for ci in 0..c {
+                    let base_out = (ni * c + ci) * h * w;
+                    let base_in = row + ci * k * k;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[base_out + iy as usize * w + ix as usize] +=
+                                data[base_in + ky * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Reinterprets `[N * OH * OW, Cout]` rows as an `[N, Cout, OH, OW]` tensor.
+pub fn rows_to_nchw(rows: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    assert_eq!(rows.shape(), &[n * oh * ow, c], "row shape mismatch");
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = rows.as_slice();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * c;
+                for ci in 0..c {
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = data[row + ci];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Inverse of [`rows_to_nchw`].
+pub fn nchw_to_rows(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected NCHW tensor");
+    let (n, c, oh, ow) = (s[0], s[1], s[2], s[3]);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = t.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out[(((ni * oh + oy) * ow + ox) * c) + ci] =
+                        data[((ni * c + ci) * oh + oy) * ow + ox];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, c])
+}
+
+/// A standard (accurate, floating-point) 2-D convolution layer.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{layers::Conv2d, Module, Tensor};
+///
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 7);
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x, true);
+/// assert_eq!(y.shape(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    spec: Conv2dSpec,
+    weight: Parameter,
+    bias: Parameter,
+    cols: Option<Tensor>,
+    input_hw: (usize, usize, usize), // (n, h, w) of the cached forward
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let spec = Conv2dSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        };
+        Self::with_spec(spec, seed)
+    }
+
+    /// Creates a convolution from a [`Conv2dSpec`].
+    pub fn with_spec(spec: Conv2dSpec, seed: u64) -> Self {
+        let fan_in = spec.patch_len();
+        let weight = kaiming_normal(&[spec.out_channels, fan_in], fan_in, seed);
+        Self {
+            spec,
+            weight: Parameter::new(weight, true),
+            bias: Parameter::new(Tensor::zeros(&[spec.out_channels]), false),
+            cols: None,
+            input_hw: (0, 0, 0),
+        }
+    }
+
+    /// The shape specification.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// The weight parameter viewed as `[Cout, Cin * k * k]`.
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let s = input.shape();
+        let (n, h, w) = (s[0], s[2], s[3]);
+        let (oh, ow) = self.spec.out_hw(h, w);
+        let cols = im2col(input, &self.spec);
+        let wt = self.weight.value.transpose2d();
+        let mut rows = cols.matmul(&wt);
+        // Broadcast bias over rows.
+        let c = self.spec.out_channels;
+        let b = self.bias.value.as_slice().to_vec();
+        for row in rows.as_mut_slice().chunks_mut(c) {
+            for (v, bv) in row.iter_mut().zip(&b) {
+                *v += bv;
+            }
+        }
+        self.cols = Some(cols);
+        self.input_hw = (n, h, w);
+        rows_to_nchw(&rows, n, c, oh, ow)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols = self.cols.as_ref().expect("backward before forward");
+        let (n, h, w) = self.input_hw;
+        let g_rows = nchw_to_rows(grad_out); // [M, Cout]
+        // dW = g^T @ cols, db = column sums of g.
+        let gt = g_rows.transpose2d(); // [Cout, M]
+        let dw = gt.matmul(cols); // [Cout, K]
+        self.weight.grad.add_scaled(&dw, 1.0);
+        let c = self.spec.out_channels;
+        {
+            let db = self.bias.grad.as_mut_slice();
+            for row in g_rows.as_slice().chunks(c) {
+                for (d, g) in db.iter_mut().zip(row) {
+                    *d += g;
+                }
+            }
+        }
+        // dX = col2im(g @ W).
+        let dcols = g_rows.matmul(&self.weight.value); // [M, K]
+        col2im(&dcols, &self.spec, n, h, w)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (definition-level) convolution for cross-checking.
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let s = input.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = spec.out_hw(h, w);
+        let k = spec.kernel;
+        let co = spec.out_channels;
+        let mut out = Tensor::zeros(&[n, co, oh, ow]);
+        for ni in 0..n {
+            for o in 0..co {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.as_slice()[o];
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * spec.stride + ky) as isize
+                                        - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize
+                                        - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                    {
+                                        continue;
+                                    }
+                                    let wv =
+                                        weight.at(&[o, ci * k * k + ky * k + kx]);
+                                    acc += wv
+                                        * input.at(&[ni, ci, iy as usize, ix as usize]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn ramp(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 7919) % 23) as f32 / 23.0 - 0.4).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn forward_matches_naive_convolution() {
+        for (stride, padding) in [(1, 1), (2, 1), (1, 0), (2, 0)] {
+            let mut conv = Conv2d::new(3, 4, 3, stride, padding, 11);
+            let x = ramp(&[2, 3, 7, 7]);
+            let got = conv.forward(&x, true);
+            let want = naive_conv(&x, &conv.weight.value, &conv.bias.value, conv.spec());
+            assert_eq!(got.shape(), want.shape(), "s={stride} p={padding}");
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "s={stride} p={padding}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y (adjointness).
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let x = ramp(&[1, 2, 5, 5]);
+        let cols = im2col(&x, &spec);
+        let y = ramp(&[cols.shape()[0], cols.shape()[1]]);
+        let lhs = cols.dot(&y);
+        let back = col2im(&y, &spec, 1, 5, 5);
+        let rhs = x.dot(&back);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rows_nchw_round_trip() {
+        let t = ramp(&[2, 3, 4, 5]);
+        let rows = nchw_to_rows(&t);
+        let back = rows_to_nchw(&rows, 2, 3, 4, 5);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 5);
+        let x = ramp(&[2, 2, 5, 5]);
+        let report = crate::gradcheck::check_module(&mut conv, &x, 99, 1e-2);
+        assert!(
+            report.max_rel_err < 0.02,
+            "gradcheck failed: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn strided_gradients_pass_finite_difference_check() {
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, 6);
+        let x = ramp(&[1, 2, 6, 6]);
+        let report = crate::gradcheck::check_module(&mut conv, &x, 100, 1e-2);
+        assert!(
+            report.max_rel_err < 0.02,
+            "gradcheck failed: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_output_panics() {
+        let spec = Conv2dSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
+        spec.out_hw(3, 3);
+    }
+}

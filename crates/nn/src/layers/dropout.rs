@@ -1,0 +1,120 @@
+//! Inverted dropout.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and the survivors are scaled by `1 / (1 - p)`;
+/// evaluation is the identity.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{layers::Dropout, Module, Tensor};
+///
+/// let mut d = Dropout::new(0.5, 1);
+/// let x = Tensor::full(&[128], 1.0);
+/// let y_eval = d.forward(&x, false);
+/// assert_eq!(y_eval, x); // identity at eval time
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: ChaCha8Rng,
+    mask: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Self {
+            p,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: vec![],
+            shape: vec![],
+        }
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        if !train || self.p == 0.0 {
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.shape(), &self.shape[..], "gradient shape mismatch");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.9, 0);
+        let x = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::full(&[20000], 1.0);
+        let y = d.forward(&x, true);
+        let mean = y.sum() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(&[64], 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full(&[64], 1.0));
+        // Gradient is zero exactly where the forward output was zero.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Shape adapter between convolutional and dense stages.
+
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// Flattens `[N, ...]` to `[N, prod(...)]`; the backward pass restores the
+/// original shape.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{layers::Flatten, Module, Tensor};
+///
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(&[2, 3, 4, 4]), true);
+/// assert_eq!(y.shape(), &[2, 48]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let s = input.shape();
+        assert!(!s.is_empty(), "flatten needs at least rank 1");
+        self.in_shape = s.to_vec();
+        let n = s[0];
+        input.reshape(&[n, input.len() / n.max(1)])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward");
+        grad_out.reshape(&self.in_shape)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let back = f.backward(&y);
+        assert_eq!(back, x);
+    }
+}

@@ -1,0 +1,127 @@
+//! Fully connected layer.
+
+use crate::init::uniform_fan_in;
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// A fully connected layer: `y = x W^T + b` over `[N, in]` batches.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{layers::Linear, Module, Tensor};
+///
+/// let mut fc = Linear::new(4, 2, 1);
+/// let y = fc.forward(&Tensor::zeros(&[3, 4]), true);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Parameter, // [out, in]
+    bias: Parameter,   // [out]
+    input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with fan-in uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        Self {
+            weight: Parameter::new(
+                uniform_fan_in(&[out_features, in_features], in_features, seed),
+                true,
+            ),
+            bias: Parameter::new(Tensor::zeros(&[out_features]), false),
+            input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "linear expects [N, in]");
+        assert_eq!(input.shape()[1], self.in_features(), "feature mismatch");
+        let wt = self.weight.value.transpose2d();
+        let mut out = input.matmul(&wt);
+        let of = self.out_features();
+        let b = self.bias.value.as_slice().to_vec();
+        for row in out.as_mut_slice().chunks_mut(of) {
+            for (v, bv) in row.iter_mut().zip(&b) {
+                *v += bv;
+            }
+        }
+        self.input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("backward before forward");
+        let gt = grad_out.transpose2d(); // [out, N]
+        let dw = gt.matmul(input); // [out, in]
+        self.weight.grad.add_scaled(&dw, 1.0);
+        let of = self.out_features();
+        {
+            let db = self.bias.grad.as_mut_slice();
+            for row in grad_out.as_slice().chunks(of) {
+                for (d, g) in db.iter_mut().zip(row) {
+                    *d += g;
+                }
+            }
+        }
+        grad_out.matmul(&self.weight.value)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let mut fc = Linear::new(3, 2, 4);
+        let x = Tensor::from_vec(vec![1., 0., -1., 0.5, 2., 1.], &[2, 3]);
+        let y = fc.forward(&x, true);
+        for n in 0..2 {
+            for o in 0..2 {
+                let mut acc = fc.bias.value.as_slice()[o];
+                for i in 0..3 {
+                    acc += x.at(&[n, i]) * fc.weight.value.at(&[o, i]);
+                }
+                assert!((y.at(&[n, o]) - acc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_pass_finite_difference_check() {
+        let mut fc = Linear::new(5, 4, 8);
+        let x = Tensor::from_vec((0..15).map(|i| (i as f32) / 7.0 - 1.0).collect(), &[3, 5]);
+        let report = crate::gradcheck::check_module(&mut fc, &x, 17, 1e-2);
+        assert!(report.max_rel_err < 0.02, "{}", report.summary());
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_bias() {
+        let mut fc = Linear::new(10, 3, 1);
+        assert_eq!(fc.num_params(), 33);
+    }
+}

@@ -1,0 +1,21 @@
+//! Neural-network layers with explicit forward/backward passes.
+
+mod act;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod norm;
+mod pool;
+mod residual;
+mod sequential;
+
+pub use act::{Relu, Sigmoid, Tanh};
+pub use conv::{col2im, im2col, nchw_to_rows, rows_to_nchw, Conv2d, Conv2dSpec};
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use residual::Residual;
+pub use sequential::Sequential;

@@ -1,0 +1,263 @@
+//! Batch normalization.
+
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// 2-D batch normalization over NCHW batches (per-channel statistics).
+///
+/// Training mode uses batch statistics and updates exponential running
+/// averages; evaluation mode uses the running statistics.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{layers::BatchNorm2d, Module, Tensor};
+///
+/// let mut bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::zeros(&[2, 3, 4, 4]), true);
+/// assert_eq!(y.shape(), &[2, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    // Backward caches.
+    xhat: Option<Tensor>,
+    inv_std: Vec<f32>,
+    trained_forward: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0);
+        Self {
+            gamma: Parameter::new(Tensor::full(&[channels], 1.0), false),
+            beta: Parameter::new(Tensor::zeros(&[channels]), false),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            xhat: None,
+            inv_std: vec![],
+            trained_forward: false,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.running_mean.len()
+    }
+
+    /// Running mean per channel (for inspection / serialization).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance per channel.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "expected NCHW input");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.channels(), "channel mismatch");
+        let m = (n * h * w) as f32;
+        let data = input.as_slice();
+
+        let (mean, var): (Vec<f32>, Vec<f32>) = if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = ((ni * c) + ci) * h * w;
+                    let mut s1 = 0.0f32;
+                    let mut s2 = 0.0f32;
+                    for &v in &data[base..base + h * w] {
+                        s1 += v;
+                        s2 += v * v;
+                    }
+                    mean[ci] += s1;
+                    var[ci] += s2;
+                }
+            }
+            for ci in 0..c {
+                mean[ci] /= m;
+                var[ci] = (var[ci] / m - mean[ci] * mean[ci]).max(0.0);
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        self.inv_std = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = vec![0.0f32; data.len()];
+        let mut out = vec![0.0f32; data.len()];
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = ((ni * c) + ci) * h * w;
+                let mu = mean[ci];
+                let is = self.inv_std[ci];
+                for k in base..base + h * w {
+                    let xh = (data[k] - mu) * is;
+                    xhat[k] = xh;
+                    out[k] = g[ci] * xh + b[ci];
+                }
+            }
+        }
+        self.xhat = Some(Tensor::from_vec(xhat, s));
+        self.trained_forward = train;
+        Tensor::from_vec(out, s)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self.xhat.as_ref().expect("backward before forward");
+        let s = xhat.shape().to_vec();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let m = (n * h * w) as f32;
+        let g = grad_out.as_slice();
+        let xh = xhat.as_slice();
+        let gamma = self.gamma.value.as_slice();
+
+        // Per-channel reductions.
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gx = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = ((ni * c) + ci) * h * w;
+                for k in base..base + h * w {
+                    sum_g[ci] += g[k];
+                    sum_gx[ci] += g[k] * xh[k];
+                }
+            }
+        }
+        self.beta.grad.as_mut_slice()
+            .iter_mut()
+            .zip(&sum_g)
+            .for_each(|(d, &v)| *d += v);
+        self.gamma.grad.as_mut_slice()
+            .iter_mut()
+            .zip(&sum_gx)
+            .for_each(|(d, &v)| *d += v);
+
+        let mut dx = vec![0.0f32; g.len()];
+        if self.trained_forward {
+            // Full batch-stat backward.
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = ((ni * c) + ci) * h * w;
+                    let k1 = gamma[ci] * self.inv_std[ci] / m;
+                    for k in base..base + h * w {
+                        dx[k] = k1 * (m * g[k] - sum_g[ci] - xh[k] * sum_gx[ci]);
+                    }
+                }
+            }
+        } else {
+            // Eval mode: statistics are constants.
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = ((ni * c) + ci) * h * w;
+                    let k1 = gamma[ci] * self.inv_std[ci];
+                    for k in base..base + h * w {
+                        dx[k] = k1 * g[k];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, &s)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 31) % 17) as f32 / 5.0 - 1.5).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = ramp(&[4, 2, 3, 3]);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1.
+        let s = y.shape();
+        for ci in 0..2 {
+            let mut vals = vec![];
+            for ni in 0..s[0] {
+                for hy in 0..s[2] {
+                    for wx in 0..s[3] {
+                        vals.push(y.at(&[ni, ci, hy, wx]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = ramp(&[8, 1, 4, 4]);
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        let y_eval = bn.forward(&x, false);
+        let y_train = bn.forward(&x, true);
+        // After many updates the running stats converge to batch stats.
+        for (a, b) in y_eval.as_slice().iter().zip(y_train.as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn train_gradients_pass_finite_difference_check() {
+        let mut bn = BatchNorm2d::new(3);
+        // Scale/shift away from the trivial fixed point.
+        bn.gamma.value = Tensor::from_vec(vec![1.2, 0.8, 1.5], &[3]);
+        bn.beta.value = Tensor::from_vec(vec![0.1, -0.2, 0.3], &[3]);
+        let x = ramp(&[2, 3, 3, 3]);
+        let report = crate::gradcheck::check_module(&mut bn, &x, 21, 1e-2);
+        assert!(report.max_rel_err < 0.05, "{}", report.summary());
+    }
+
+    #[test]
+    fn zero_variance_channel_is_stable() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[2, 1, 2, 2], 3.0);
+        let y = bn.forward(&x, true);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

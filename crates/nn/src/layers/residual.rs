@@ -1,0 +1,142 @@
+//! Residual (skip) connections.
+
+use crate::layers::Sequential;
+use crate::module::{Module, Parameter};
+use crate::tensor::Tensor;
+
+/// A residual block: `y = relu(main(x) + shortcut(x))`.
+///
+/// The shortcut defaults to identity; supply a projection (e.g. a strided
+/// 1x1 convolution + batch norm) when the main path changes shape, as in
+/// the ResNet downsampling blocks.
+#[derive(Debug)]
+pub struct Residual {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Vec<bool>,
+    out_shape: Vec<usize>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn new(main: Sequential) -> Self {
+        Self {
+            main,
+            shortcut: None,
+            relu_mask: vec![],
+            out_shape: vec![],
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn with_projection(main: Sequential, shortcut: Sequential) -> Self {
+        Self {
+            main,
+            shortcut: Some(shortcut),
+            relu_mask: vec![],
+            out_shape: vec![],
+        }
+    }
+}
+
+impl Module for Residual {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main_out = self.main.forward(input, train);
+        let skip = match &mut self.shortcut {
+            Some(proj) => proj.forward(input, train),
+            None => input.clone(),
+        };
+        assert_eq!(
+            main_out.shape(),
+            skip.shape(),
+            "main and shortcut shapes must agree"
+        );
+        let sum = main_out.add(&skip);
+        self.relu_mask = sum.as_slice().iter().map(|&v| v > 0.0).collect();
+        self.out_shape = sum.shape().to_vec();
+        sum.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_out.shape(),
+            &self.out_shape[..],
+            "gradient shape mismatch"
+        );
+        let gated: Vec<f32> = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.relu_mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        let gated = Tensor::from_vec(gated, &self.out_shape);
+        let d_main = self.main.backward(&gated);
+        let d_skip = match &mut self.shortcut {
+            Some(proj) => proj.backward(&gated),
+            None => gated,
+        };
+        d_main.add(&d_skip)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        self.main.visit_params(visitor);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_params(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Linear, Relu};
+
+    #[test]
+    fn identity_shortcut_gradcheck() {
+        let main = Sequential::new()
+            .push(Linear::new(4, 4, 1))
+            .push(Relu::new())
+            .push(Linear::new(4, 4, 2));
+        let mut block = Residual::new(main);
+        let x = Tensor::from_vec(
+            (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect(),
+            &[2, 4],
+        );
+        let report = crate::gradcheck::check_module(&mut block, &x, 55, 1e-2);
+        assert!(report.max_rel_err < 0.03, "{}", report.summary());
+    }
+
+    #[test]
+    fn projection_shortcut_gradcheck() {
+        // Bias the pre-activation sums well above zero so the final ReLU has
+        // no kink crossings (finite differences are invalid at kinks).
+        let mut main_conv = Conv2d::new(2, 3, 3, 1, 1, 3);
+        main_conv.visit_params(&mut |p| {
+            if p.value.shape().len() == 1 {
+                p.value.map_inplace(|_| 2.5);
+            }
+        });
+        let main = Sequential::new().push(main_conv);
+        let proj = Sequential::new().push(Conv2d::new(2, 3, 1, 1, 0, 4));
+        let mut block = Residual::with_projection(main, proj);
+        let x = Tensor::from_vec(
+            (0..18).map(|i| ((i * 13) % 9) as f32 * 0.2 - 0.7).collect(),
+            &[1, 2, 3, 3],
+        );
+        let report = crate::gradcheck::check_module(&mut block, &x, 56, 1e-3);
+        assert!(report.max_rel_err < 0.03, "{}", report.summary());
+    }
+
+    #[test]
+    fn identity_path_passes_signal() {
+        // Zero main path (zero weights): block reduces to relu(x).
+        let mut main = Sequential::new();
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 9);
+        conv.visit_params(&mut |p| p.value.map_inplace(|_| 0.0));
+        main.push_boxed(Box::new(conv));
+        let mut block = Residual::new(main);
+        let x = Tensor::from_vec(vec![-1.0, 2.0, 0.5, -0.2], &[1, 1, 2, 2]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.5, 0.0]);
+    }
+}

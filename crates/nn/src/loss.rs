@@ -1,0 +1,143 @@
+//! Loss functions.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over `[N, C]` logits with integer class labels.
+///
+/// Returns the mean loss and `dL/d(logits)` (already divided by the batch
+/// size), ready to feed into [`crate::Module::backward`].
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len()` differs from the batch
+/// size, or any label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{loss::softmax_cross_entropy, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![5.0, -5.0, -5.0, 5.0], &[2, 2]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(loss < 0.01); // confidently correct
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let s = logits.shape();
+    assert_eq!(s.len(), 2, "expected [N, C] logits");
+    let (n, c) = (s[0], s[1]);
+    assert_eq!(labels.len(), n, "one label per batch row");
+    let data = logits.as_slice();
+    let mut grad = vec![0.0f32; n * c];
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let row = &data[i * c..(i + 1) * c];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += f64::from(v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += log_denom - f64::from(row[label] - max);
+        for (j, &v) in row.iter().enumerate() {
+            let p = (f64::from(v - max).exp() / denom) as f32;
+            grad[i * c + j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, Tensor::from_vec(grad, &[n, c]))
+}
+
+/// Softmax probabilities per row of `[N, C]` logits (numerically stable).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let s = logits.shape();
+    assert_eq!(s.len(), 2, "expected [N, C] logits");
+    let (n, c) = (s[0], s[1]);
+    let data = logits.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n {
+        let row = &data[i * c..(i + 1) * c];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[i * c + j] = e;
+            denom += e;
+        }
+        for v in &mut out[i * c..(i + 1) * c] {
+            *v /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Tensor::from_vec(
+            vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4],
+            &[2, 3],
+        );
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let orig = logits.as_slice()[i];
+            logits.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits.as_mut_slice()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "elem {i}: fd {fd} vs {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![3.0, -1.0, 0.5, 2.0], &[2, 2]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        for row in grad.as_slice().chunks(2) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let p = softmax(&Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        for row in p.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_labels() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

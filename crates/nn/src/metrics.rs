@@ -1,0 +1,124 @@
+//! Classification metrics (top-1 / top-5 accuracy, running averages).
+
+use crate::tensor::Tensor;
+
+/// Fraction of rows whose true label is among the `k` highest logits.
+///
+/// The paper reports top-1 accuracy for the CIFAR-10 experiments (Table II,
+/// Fig. 5) and top-5 for the CIFAR-100 curves (Fig. 6).
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, C]`, labels mismatch, or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use appmult_nn::{metrics::top_k_accuracy, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]);
+/// assert_eq!(top_k_accuracy(&logits, &[1, 0], 1), 1.0);
+/// assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), 0.0);
+/// assert_eq!(top_k_accuracy(&logits, &[0, 1], 2), 1.0);
+/// ```
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f64 {
+    let s = logits.shape();
+    assert_eq!(s.len(), 2, "expected [N, C] logits");
+    assert!(k >= 1, "k must be positive");
+    let (n, c) = (s[0], s[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let k = k.min(c);
+    let data = logits.as_slice();
+    let mut hits = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &data[i * c..(i + 1) * c];
+        let target = row[label];
+        // Rank of the label = number of strictly larger entries (ties are
+        // resolved in favour of the label, matching common implementations).
+        let larger = row.iter().filter(|&&v| v > target).count();
+        if larger < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Incremental mean for streaming loss/accuracy over batches.
+///
+/// # Example
+///
+/// ```
+/// let mut avg = appmult_nn::metrics::RunningMean::new();
+/// avg.add(1.0, 2);
+/// avg.add(0.0, 2);
+/// assert_eq!(avg.mean(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a value observed over `weight` samples.
+    pub fn add(&mut self, value: f64, weight: u64) {
+        self.sum += value * weight as f64;
+        self.count += weight;
+    }
+
+    /// Current mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top5_is_at_least_top1() {
+        let logits = Tensor::from_vec(
+            (0..30).map(|i| ((i * 17) % 13) as f32).collect(),
+            &[3, 10],
+        );
+        let labels = [4usize, 9, 0];
+        let t1 = top_k_accuracy(&logits, &labels, 1);
+        let t5 = top_k_accuracy(&logits, &labels, 5);
+        assert!(t5 >= t1);
+    }
+
+    #[test]
+    fn k_saturates_at_class_count() {
+        let logits = Tensor::from_vec(vec![0.5, 0.1], &[1, 2]);
+        assert_eq!(top_k_accuracy(&logits, &[1], 10), 1.0);
+    }
+
+    #[test]
+    fn running_mean_weighted() {
+        let mut m = RunningMean::new();
+        m.add(2.0, 1);
+        m.add(5.0, 3);
+        assert!((m.mean() - 4.25).abs() < 1e-12);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+}

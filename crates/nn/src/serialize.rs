@@ -1,0 +1,192 @@
+//! Parameter checkpointing.
+//!
+//! Saves and restores the trainable parameters of any [`Module`] in a
+//! small self-describing binary format (magic, parameter count, per-param
+//! shape + little-endian f32 data). Architecture is *not* serialized: the
+//! caller rebuilds the module and loads parameters into it, which is also
+//! how the Fig. 1 flow moves weights from the float model into the
+//! AppMult version across process runs.
+
+use std::io::{self, Read, Write};
+
+use crate::module::Module;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"APMT";
+const VERSION: u32 = 1;
+
+/// Serializes every parameter of `module` (in visitation order) to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params<W: Write>(module: &mut dyn Module, mut w: W) -> io::Result<()> {
+    let mut params: Vec<Tensor> = vec![];
+    module.visit_params(&mut |p| params.push(p.value.clone()));
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for t in &params {
+        w.write_all(&(t.shape().len() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in t.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads parameters previously written by [`save_params`] into `module`.
+///
+/// The module must have the same architecture (same parameter count and
+/// shapes, in the same visitation order).
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version, a parameter count or
+/// shape mismatch, or truncated input.
+pub fn load_params<R: Read>(module: &mut dyn Module, mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "absurd rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let len: usize = shape.iter().product();
+        let mut data = vec![0f32; len];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        tensors.push(Tensor::from_vec(data, &shape));
+    }
+
+    // Validate against the module before mutating anything.
+    let mut shapes = vec![];
+    module.visit_params(&mut |p| shapes.push(p.value.shape().to_vec()));
+    if shapes.len() != tensors.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint has {} parameters, module has {}",
+                tensors.len(),
+                shapes.len()
+            ),
+        ));
+    }
+    for (i, (s, t)) in shapes.iter().zip(&tensors).enumerate() {
+        if s != t.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter {i}: checkpoint {:?} vs module {s:?}", t.shape()),
+            ));
+        }
+    }
+    let mut it = tensors.into_iter();
+    module.visit_params(&mut |p| {
+        p.value = it.next().expect("validated count");
+    });
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Flatten, Linear, Relu, Sequential};
+    use crate::Tensor;
+
+    fn model(seed: u64) -> Sequential {
+        Sequential::new()
+            .push(Conv2d::new(2, 3, 3, 1, 1, seed))
+            .push(Relu::new())
+            .push(Flatten::new())
+            .push(Linear::new(3 * 4 * 4, 4, seed + 1))
+    }
+
+    #[test]
+    fn round_trip_restores_parameters_and_outputs() {
+        let mut src = model(7);
+        let mut buf = Vec::new();
+        save_params(&mut src, &mut buf).expect("serialize");
+
+        let mut dst = model(999); // different init
+        load_params(&mut dst, buf.as_slice()).expect("deserialize");
+
+        let mut va = vec![];
+        src.visit_params(&mut |p| va.push(p.value.clone()));
+        let mut vb = vec![];
+        dst.visit_params(&mut |p| vb.push(p.value.clone()));
+        assert_eq!(va, vb);
+
+        // And the restored model computes identically.
+        let x = Tensor::from_vec((0..32).map(|i| i as f32 / 16.0).collect(), &[1, 2, 4, 4]);
+        assert_eq!(src.forward(&x, false), dst.forward(&x, false));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(1);
+        let err = load_params(&mut m, &b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut src = model(1);
+        let mut buf = Vec::new();
+        save_params(&mut src, &mut buf).expect("serialize");
+        let mut other = Sequential::new().push(Linear::new(3, 3, 0));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut src = model(1);
+        let mut buf = Vec::new();
+        save_params(&mut src, &mut buf).expect("serialize");
+        buf.truncate(buf.len() / 2);
+        let mut dst = model(2);
+        assert!(load_params(&mut dst, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn mismatch_does_not_corrupt_the_module() {
+        let mut src = Sequential::new().push(Linear::new(2, 2, 5));
+        let mut buf = Vec::new();
+        save_params(&mut src, &mut buf).expect("serialize");
+        let mut dst = model(3);
+        let mut before = vec![];
+        dst.visit_params(&mut |p| before.push(p.value.clone()));
+        let _ = load_params(&mut dst, buf.as_slice()).unwrap_err();
+        let mut after = vec![];
+        dst.visit_params(&mut |p| after.push(p.value.clone()));
+        assert_eq!(before, after, "failed load must leave params untouched");
+    }
+}

@@ -1,0 +1,58 @@
+//! Generate an approximate multiplier with the built-in approximate logic
+//! synthesis (ALS) pass and inspect the accuracy/hardware trade-off across
+//! error budgets.
+//!
+//! ```text
+//! cargo run --release --example als_synthesis
+//! ```
+
+use appmult::circuit::{synthesize, AlsConfig, CostModel, MultiplierCircuit};
+use appmult::mult::{ErrorMetrics, Multiplier, MultiplierLut};
+
+fn main() {
+    let bits = 7;
+    let model = CostModel::asap7();
+    let exact = MultiplierCircuit::array(bits);
+    let exact_cost = model.estimate(&exact);
+    println!("exact {bits}-bit array multiplier: {exact_cost}");
+    println!(
+        "\n{:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "budget", "rewrites", "gates", "NMED%", "MaxED", "area%", "power%"
+    );
+
+    for budget in [0.0005, 0.001, 0.002, 0.004, 0.008] {
+        let cfg = AlsConfig {
+            nmed_budget: budget,
+            seed: 7,
+            ..AlsConfig::default()
+        };
+        let outcome = synthesize(&exact, &cfg);
+        let cost = model.estimate(&outcome.circuit);
+        let products: Vec<u32> = outcome
+            .circuit
+            .exhaustive_products()
+            .into_iter()
+            .map(|p| p as u32)
+            .collect();
+        let lut = MultiplierLut::from_entries("als", bits, products);
+        let metrics = ErrorMetrics::exhaustive(&lut);
+        println!(
+            "{:>10.4} {:>9} {:>9} {:>9.3} {:>9} {:>8.1} {:>8.1}",
+            budget,
+            outcome.rewrites.len(),
+            outcome.gates_after,
+            metrics.nmed_pct(),
+            metrics.max_ed,
+            100.0 * cost.area_um2 / exact_cost.area_um2,
+            100.0 * cost.power_uw / exact_cost.power_uw,
+        );
+    }
+
+    println!("\nEach row is a synthesized multiplier like the paper's `_syn`");
+    println!("designs: netlist rewrites accepted cheapest-error-first until");
+    println!("the NMED budget is spent (ALSRAC-style, Sec. V-A / Table I).");
+    // The synthesized LUTs drop straight into the retraining framework via
+    // appmult::mult::SynthesizedMultiplier or MultiplierLut::from_entries.
+    let syn = appmult::mult::SynthesizedMultiplier::generate(bits, 0.0028, 1);
+    println!("\nready-made Table I entry: {} (NMED {:.3}%)", syn.name(), syn.nmed() * 100.0);
+}

@@ -1,0 +1,49 @@
+//! Survey the whole Table I multiplier zoo: measured error metrics and
+//! hardware cost for every design, plus the paper's published values.
+//!
+//! ```text
+//! cargo run --release --example explore_multipliers
+//! cargo run --release --example explore_multipliers -- --skip-syn
+//! ```
+//!
+//! (`--skip-syn` avoids the few-second ALS runs for the `_syn` entries.)
+
+use appmult::circuit::{CostModel, MultiplierCircuit};
+use appmult::mult::{zoo, ErrorMetrics, Multiplier};
+
+fn main() {
+    let skip_syn = std::env::args().any(|a| a == "--skip-syn");
+    let model = CostModel::asap7();
+    let reference = model.estimate(&MultiplierCircuit::array(8));
+
+    println!(
+        "{:<12} {:>9} {:>7} {:>8} {:>8} {:>7} {:>7}  fidelity",
+        "name", "ER%", "NMED%", "MaxED", "area", "power", "norm.P"
+    );
+    for name in zoo::names() {
+        if skip_syn && name.contains("_syn") {
+            continue;
+        }
+        let entry = zoo::entry(name).expect("known Table I name");
+        let metrics = ErrorMetrics::exhaustive(&entry.multiplier.to_lut());
+        let (area, power, src) = match entry.multiplier.circuit() {
+            Some(c) => {
+                let cost = model.estimate(&c);
+                (cost.area_um2, cost.power_uw, "")
+            }
+            None => (entry.paper.area_um2, entry.paper.power_uw, "*"),
+        };
+        println!(
+            "{:<12} {:>9.1} {:>7.2} {:>8} {:>7.1}{src} {:>6.2}{src} {:>7.2}  {:?}",
+            entry.name,
+            metrics.er_pct(),
+            metrics.nmed_pct(),
+            metrics.max_ed,
+            area,
+            power,
+            power / reference.power_uw,
+            entry.fidelity,
+        );
+    }
+    println!("\n(*) hardware from the paper's published row (behavioural-only surrogate)");
+}

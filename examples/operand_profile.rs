@@ -1,0 +1,57 @@
+//! Beyond the paper: multiplier error under *real* DNN operand
+//! distributions instead of the uniform assumption of Eq. 2.
+//!
+//! ```text
+//! cargo run --release --example operand_profile
+//! ```
+//!
+//! Table I measures ER/NMED/MaxED with uniformly distributed operands, but
+//! a convolution's quantized weights are bell-shaped and its activations
+//! are ReLU-skewed. This example trains a small approximate model, reads
+//! the operand-code histograms its conv layer actually saw, and re-scores
+//! the multiplier under those marginals.
+
+use std::sync::Arc;
+
+use appmult::data::{DatasetConfig, SyntheticDataset};
+use appmult::mult::{zoo, ErrorMetrics, Multiplier};
+use appmult::nn::Module;
+use appmult::retrain::{ApproxConv2d, GradientLut, GradientMode, QuantConfig};
+
+fn main() {
+    let entry = zoo::entry("mul8u_rm8").expect("Table I name");
+    let lut = Arc::new(entry.multiplier.to_lut());
+    let grads = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(16)));
+
+    // A conv layer fed with realistic (image-like) activations.
+    let mut conv = ApproxConv2d::new(3, 16, 3, 1, 1, 7, lut.clone(), grads, QuantConfig::default());
+    let data = SyntheticDataset::generate(&DatasetConfig::small(10, 16, 4));
+    let (images, _) = &data.train_batches(32)[0];
+    let _ = conv.forward(images, true);
+
+    let (w_hist, x_hist) = conv
+        .operand_histograms()
+        .expect("histograms exist after a forward pass");
+
+    let uniform = ErrorMetrics::exhaustive(&lut);
+    let profiled = ErrorMetrics::with_marginals(&lut, &w_hist, &x_hist);
+
+    println!("multiplier: {}", entry.name);
+    println!("  uniform operands  : {uniform}");
+    println!("  profiled operands : {profiled}");
+    println!(
+        "  NMED ratio (profiled / uniform): {:.2}",
+        profiled.nmed / uniform.nmed
+    );
+
+    // Where does the probability mass actually sit?
+    let mass = |h: &[f64], lo: usize, hi: usize| -> f64 { h[lo..hi].iter().sum() };
+    println!("\noperand mass in the low quarter of the code range:");
+    println!("  weights    : {:.1}%", 100.0 * mass(&w_hist, 0, 64));
+    println!("  activations: {:.1}%", 100.0 * mass(&x_hist, 0, 64));
+    println!("\nTruncation-style AppMults concentrate their error distance in");
+    println!("high-magnitude products, so bell-shaped weights and ReLU-skewed");
+    println!("activations usually see a *different* effective NMED than the");
+    println!("uniform Table I figure — worth checking before picking a");
+    println!("multiplier for a given network.");
+}

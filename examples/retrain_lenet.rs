@@ -1,0 +1,76 @@
+//! Retrain a LeNet with an aggressive approximate multiplier, comparing
+//! the STE baseline against the paper's difference-based gradient.
+//!
+//! ```text
+//! cargo run --release --example retrain_lenet
+//! ```
+//!
+//! Flow (Fig. 1 of the paper): pretrain a float model, transplant its
+//! weights into an AppMult version, measure the degraded initial accuracy,
+//! then retrain with each gradient rule.
+
+use std::sync::Arc;
+
+use appmult::data::{DatasetConfig, SyntheticDataset};
+use appmult::models::{copy_params, lenet5, ConvMode, ModelConfig};
+use appmult::mult::{zoo, Multiplier};
+use appmult::nn::optim::{Adam, StepSchedule};
+use appmult::retrain::{evaluate, retrain, GradientLut, GradientMode, RetrainConfig};
+
+fn main() {
+    // A noisy 10-class synthetic task (stand-in for CIFAR-10).
+    let mut data_cfg = DatasetConfig::small(10, 48, 32);
+    data_cfg.noise = 1.0;
+    let data = SyntheticDataset::generate(&data_cfg);
+    let train = data.train_batches(32);
+    let test = data.test_batches(32);
+
+    let model_cfg = ModelConfig {
+        input_hw: (16, 16),
+        ..ModelConfig::cifar10()
+    };
+
+    // 1. Pretrain the float model.
+    println!("pretraining float LeNet...");
+    let mut float_model = lenet5(&model_cfg);
+    let mut opt = Adam::new(2e-3);
+    let pre_cfg = RetrainConfig {
+        epochs: 8,
+        schedule: StepSchedule::new(vec![(1, 2e-3)]),
+        eval_every: 8,
+    };
+    let pre = retrain(&mut float_model, &mut opt, &pre_cfg, &train, &test);
+    println!("float accuracy: {:.2}%\n", pre.final_top1() * 100.0);
+
+    // 2. Replace conv multipliers with the large-error mul8u_rm8 and
+    //    retrain once per gradient rule.
+    let entry = zoo::entry("mul8u_rm8").expect("Table I name");
+    let lut = Arc::new(entry.multiplier.to_lut());
+    for (label, mode) in [
+        ("STE (baseline)", GradientMode::Ste),
+        (
+            "difference-based (ours)",
+            GradientMode::difference_based(entry.recommended_hws()),
+        ),
+    ] {
+        let grads = Arc::new(GradientLut::build(&lut, mode));
+        let approx_cfg = model_cfg
+            .clone()
+            .with_conv(ConvMode::approximate(lut.clone(), grads));
+        let mut model = lenet5(&approx_cfg);
+        copy_params(&mut float_model, &mut model);
+        let (initial, _) = evaluate(&mut model, &test);
+        let mut opt = Adam::new(1e-3);
+        let cfg = RetrainConfig {
+            epochs: 6,
+            schedule: StepSchedule::new(vec![(1, 1e-3), (4, 5e-4)]),
+            eval_every: 1,
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+        println!(
+            "{label}: initial {:.2}% -> retrained {:.2}%",
+            initial * 100.0,
+            history.final_top1() * 100.0
+        );
+    }
+}

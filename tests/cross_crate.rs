@@ -1,0 +1,120 @@
+//! Cross-crate consistency checks between the hardware substrate, the
+//! multiplier library, and the retraining framework.
+
+use appmult::circuit::{CostModel, MultiplierCircuit};
+use appmult::mult::{zoo, Multiplier, TruncatedMultiplier};
+use appmult::retrain::{GradientLut, GradientMode, QuantParams};
+
+#[test]
+fn behavioural_and_gate_level_rm_multipliers_agree() {
+    // The Fig. 2 construction exists twice: closed-form in appmult-mult
+    // and gate-level in appmult-circuit. They must agree bit-exactly.
+    for (bits, k) in [(6u32, 4u32), (7, 6), (8, 8)] {
+        let behavioural = TruncatedMultiplier::new(bits, k).to_lut();
+        let gate_level = MultiplierCircuit::with_removed_columns(
+            bits,
+            k,
+            appmult::circuit::MultiplierStructure::Array,
+        )
+        .exhaustive_products();
+        for w in 0..(1u32 << bits) {
+            for x in 0..(1u32 << bits) {
+                assert_eq!(
+                    gate_level[((w << bits) | x) as usize] as u32,
+                    behavioural.product(w, x),
+                    "bits={bits} k={k} {w}*{x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zoo_luts_feed_gradient_builder_at_every_bitwidth() {
+    for name in ["mul6u_rm4", "mul7u_rm6", "mul8u_rm8"] {
+        let entry = zoo::entry(name).expect("known");
+        let lut = entry.multiplier.to_lut();
+        let g = GradientLut::build(&lut, GradientMode::difference_based(entry.recommended_hws()));
+        assert_eq!(g.bits(), lut.bits());
+        // Spot-check: gradients are finite everywhere.
+        let n = 1u32 << lut.bits();
+        for w in (0..n).step_by(17) {
+            for x in (0..n).step_by(13) {
+                assert!(g.wrt_w(w, x).is_finite());
+                assert!(g.wrt_x(w, x).is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn cost_model_ranks_approximate_below_exact() {
+    let model = CostModel::asap7();
+    for bits in [6u32, 7, 8] {
+        let exact = model.estimate(&MultiplierCircuit::array(bits));
+        let trunc_entry = TruncatedMultiplier::new(bits, bits);
+        let trunc = model.estimate(&trunc_entry.circuit().expect("gate-level"));
+        assert!(trunc.area_um2 < exact.area_um2, "{bits}-bit area");
+        assert!(trunc.power_uw < exact.power_uw, "{bits}-bit power");
+    }
+}
+
+#[test]
+fn table1_reference_rows_are_calibration_fixed_points() {
+    // mul8u_acc drives the calibration, so the model must reproduce its
+    // paper row exactly; the 7-/6-bit exact rows should land close.
+    let model = CostModel::asap7();
+    let m8 = model.estimate(&MultiplierCircuit::array(8));
+    assert!((m8.area_um2 - 25.6).abs() < 0.05);
+    assert!((m8.power_uw - 22.93).abs() < 0.05);
+    let m7 = model.estimate(&MultiplierCircuit::array(7));
+    let paper7 = zoo::entry("mul7u_acc").expect("known").paper;
+    assert!(
+        (m7.power_uw - paper7.power_uw).abs() / paper7.power_uw < 0.25,
+        "7-bit power {:.2} vs paper {:.2}",
+        m7.power_uw,
+        paper7.power_uw
+    );
+}
+
+#[test]
+fn quantized_exact_pipeline_is_consistent_end_to_end() {
+    // Quantize -> exact LUT multiply -> dequantize equals float multiply
+    // to within quantization error, across random value pairs.
+    let lut = zoo::mul8u_acc().to_lut();
+    let wq = QuantParams::from_range(-1.0, 1.0, 8);
+    let xq = QuantParams::from_range(0.0, 2.0, 8);
+    for i in 0..50 {
+        let w = -1.0 + 0.04 * i as f32;
+        let x = 0.04 * i as f32;
+        let cw = wq.quantize(w);
+        let cx = xq.quantize(x);
+        let y = lut.product(cw, cx);
+        let deq = appmult::retrain::dequantize_dot(
+            &wq,
+            &xq,
+            i64::from(y),
+            i64::from(cw),
+            i64::from(cx),
+            1,
+        );
+        assert!(
+            (deq - w * x).abs() < wq.scale * 2.0 + xq.scale * 2.0,
+            "{w} * {x}: {deq}"
+        );
+    }
+}
+
+#[test]
+fn fig3_artifacts_are_reproducible_from_the_public_api() {
+    // The exact data series behind Fig. 3 (used by the fig3 binary).
+    let lut = zoo::mul7u_rm6().to_lut();
+    let row = lut.row(10);
+    // Staircase: plateaus of width 8 between multiples of 8.
+    assert_eq!(row[8], row[15]);
+    assert!(row[16] > row[15]);
+    // Eq. 4 smoothing with the Fig. 3 window.
+    let smoothed = appmult::retrain::smooth_row(row, 4);
+    assert!(smoothed[4].is_some() && smoothed[123].is_some());
+    assert!(smoothed[3].is_none() && smoothed[124].is_none());
+}

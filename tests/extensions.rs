@@ -1,0 +1,72 @@
+//! Integration tests for the beyond-the-paper extensions.
+
+
+use appmult::circuit::{to_blif, to_verilog, MultiplierCircuit};
+use appmult::mult::{
+    CompressorMultiplier, ErrorMetrics, Multiplier, SignMagnitudeMultiplier, TruncatedMultiplier,
+};
+use appmult::nn::layers::{Flatten, Linear, Sequential};
+use appmult::nn::serialize::{load_params, save_params};
+use appmult::nn::Module;
+use appmult::retrain::{GradientLut, GradientMode};
+
+#[test]
+fn netlist_export_flows_from_multiplier_designs() {
+    // Any design with a gate-level structure can be shipped to an EDA tool.
+    let m = TruncatedMultiplier::new(6, 4);
+    let circuit = m.circuit().expect("rm-k designs have netlists");
+    let verilog = to_verilog(circuit.netlist(), "mul6u_rm4");
+    let blif = to_blif(circuit.netlist(), "mul6u_rm4");
+    assert!(verilog.contains("module mul6u_rm4"));
+    assert!(blif.contains(".model mul6u_rm4"));
+    // 12 ports in, 12 out.
+    assert!(verilog.matches("input ").count() == 12);
+    assert!(blif.contains(".outputs"));
+}
+
+#[test]
+fn signed_wrapper_drives_the_gradient_builder() {
+    // The offset-binary LUT of a signed AppMult feeds the standard
+    // difference-based gradient machinery.
+    let signed = SignMagnitudeMultiplier::new(TruncatedMultiplier::new(6, 4));
+    let lut = signed.to_offset_lut();
+    let grads = GradientLut::build(&lut, GradientMode::difference_based(4));
+    // The offset encoding makes the product increase with the w-code on
+    // the positive half and decrease on the negative half; around the
+    // centre code the gradient wrt the x-code flips sign accordingly.
+    let w_pos = 32 + 20; // value +20
+    let w_neg = 32 - 20; // value -20
+    let x_mid = 40;
+    assert!(grads.wrt_x(w_pos, x_mid) > 0.0);
+    assert!(grads.wrt_x(w_neg, x_mid) < 0.0);
+}
+
+#[test]
+fn compressor_family_is_a_first_class_zoo_citizen() {
+    let m = CompressorMultiplier::new(7, 8);
+    let lut = m.to_lut();
+    let metrics = ErrorMetrics::exhaustive(&lut);
+    assert!(metrics.nmed > 0.0, "approximate by construction");
+    // Gradient tables build cleanly on the structural LUT.
+    let g = GradientLut::build(&lut, GradientMode::difference_based(4));
+    assert!(g.wrt_w(100, 64).is_finite());
+    // And it carries hardware cost like the closed-form designs.
+    let cost = appmult::circuit::CostModel::asap7().estimate(&m.circuit().expect("structural"));
+    let exact = appmult::circuit::CostModel::asap7().estimate(&MultiplierCircuit::array(7));
+    assert!(cost.area_um2 < exact.area_um2);
+}
+
+#[test]
+fn checkpoint_round_trip_through_the_facade() {
+    let mut model = Sequential::new()
+        .push(Flatten::new())
+        .push(Linear::new(8, 4, 11));
+    let mut buf = Vec::new();
+    save_params(&mut model, &mut buf).expect("save");
+    let mut restored = Sequential::new()
+        .push(Flatten::new())
+        .push(Linear::new(8, 4, 99));
+    load_params(&mut restored, buf.as_slice()).expect("load");
+    let x = appmult::nn::Tensor::from_vec((0..16).map(|i| i as f32 * 0.1).collect(), &[2, 8]);
+    assert_eq!(model.forward(&x, false), restored.forward(&x, false));
+}
