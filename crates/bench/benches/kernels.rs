@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks of the retraining kernels.
+//! Micro-benchmarks of the retraining kernels (dependency-free harness).
 //!
 //! Backs the paper's runtime discussion (Sec. V-B): the difference-based
 //! method costs extra over STE in (a) building the gradient LUTs and
@@ -9,16 +9,55 @@
 //! * gradient-LUT construction (STE vs difference-based vs raw);
 //! * product-LUT extraction and exhaustive error metrics.
 //!
+//! Criterion is unavailable in the offline build environment, so this is
+//! a plain `harness = false` binary: per benchmark it warms up, then
+//! reports the median of repeated timed batches.
+//!
 //! Run with `cargo bench -p appmult-bench`.
 
+use std::hint::black_box;
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
 
 use appmult_mult::{ErrorMetrics, Multiplier, TruncatedMultiplier};
 use appmult_nn::layers::{Conv2d, Conv2dSpec};
 use appmult_nn::{Module, Tensor};
 use appmult_retrain::{ApproxConv2d, GradientLut, GradientMode, QuantConfig};
+
+/// Runs `f` repeatedly for ~`measure` after a warm-up, returning the
+/// median per-iteration time over `samples` batches.
+fn bench<F: FnMut()>(name: &str, mut f: F) {
+    let warmup = Duration::from_millis(300);
+    let measure = Duration::from_millis(1200);
+    let samples = 12usize;
+
+    // Warm-up and iteration-count calibration.
+    let mut iters_per_batch = 1u64;
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < warmup {
+        f();
+        calls += 1;
+    }
+    if calls > 0 {
+        let per_call = warmup.as_secs_f64() / calls as f64;
+        let batch_target = measure.as_secs_f64() / samples as f64;
+        iters_per_batch = ((batch_target / per_call).ceil() as u64).max(1);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters_per_batch {
+            f();
+        }
+        per_iter.push(t.elapsed().as_secs_f64() / iters_per_batch as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:40} {:>12.3} us/iter  ({iters_per_batch} iters x {samples} batches)",
+        median * 1e6);
+}
 
 fn ramp(shape: &[usize]) -> Tensor {
     let n: usize = shape.iter().product();
@@ -48,61 +87,54 @@ fn conv_pair() -> (Conv2d, ApproxConv2d, ApproxConv2d) {
     (float_conv, mk(ste), mk(diff))
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let (mut float_conv, mut ste_conv, _) = conv_pair();
-    let x = ramp(&[2, 8, 12, 12]);
-    let mut group = c.benchmark_group("conv_forward");
-    group.bench_function("float", |b| b.iter(|| float_conv.forward(&x, true)));
-    group.bench_function("lut", |b| b.iter(|| ste_conv.forward(&x, true)));
-    group.finish();
-}
+fn main() {
+    println!("kernel micro-benchmarks (median per iteration)\n");
 
-fn bench_backward(c: &mut Criterion) {
     let (mut float_conv, mut ste_conv, mut diff_conv) = conv_pair();
     let x = ramp(&[2, 8, 12, 12]);
+    bench("conv_forward/float", || {
+        black_box(float_conv.forward(black_box(&x), true));
+    });
+    bench("conv_forward/lut", || {
+        black_box(ste_conv.forward(black_box(&x), true));
+    });
+
     let g = ramp(&[2, 16, 12, 12]);
     float_conv.forward(&x, true);
     ste_conv.forward(&x, true);
     diff_conv.forward(&x, true);
-    let mut group = c.benchmark_group("conv_backward");
-    group.bench_function("float", |b| b.iter(|| float_conv.backward(&g)));
-    group.bench_function("lut_ste", |b| b.iter(|| ste_conv.backward(&g)));
-    group.bench_function("lut_diff", |b| b.iter(|| diff_conv.backward(&g)));
-    group.finish();
-}
+    bench("conv_backward/float", || {
+        black_box(float_conv.backward(black_box(&g)));
+    });
+    bench("conv_backward/lut_ste", || {
+        black_box(ste_conv.backward(black_box(&g)));
+    });
+    bench("conv_backward/lut_diff", || {
+        black_box(diff_conv.backward(black_box(&g)));
+    });
 
-fn bench_gradient_lut_build(c: &mut Criterion) {
     let lut = TruncatedMultiplier::new(8, 8).to_lut();
-    let mut group = c.benchmark_group("gradient_lut_build_8bit");
-    group.bench_function("ste", |b| {
-        b.iter(|| GradientLut::build(&lut, GradientMode::Ste))
+    bench("gradient_lut_build_8bit/ste", || {
+        black_box(GradientLut::build(black_box(&lut), GradientMode::Ste));
     });
-    group.bench_function("diff_hws16", |b| {
-        b.iter(|| GradientLut::build(&lut, GradientMode::difference_based(16)))
+    bench("gradient_lut_build_8bit/diff_hws16", || {
+        black_box(GradientLut::build(
+            black_box(&lut),
+            GradientMode::difference_based(16),
+        ));
     });
-    group.bench_function("raw", |b| {
-        b.iter(|| GradientLut::build(&lut, GradientMode::RawDifference))
+    bench("gradient_lut_build_8bit/raw", || {
+        black_box(GradientLut::build(
+            black_box(&lut),
+            GradientMode::RawDifference,
+        ));
     });
-    group.finish();
-}
 
-fn bench_lut_and_metrics(c: &mut Criterion) {
     let m = TruncatedMultiplier::new(8, 8);
-    let lut = m.to_lut();
-    let mut group = c.benchmark_group("multiplier_analysis_8bit");
-    group.bench_function("build_product_lut", |b| b.iter(|| m.to_lut()));
-    group.bench_function("exhaustive_error_metrics", |b| {
-        b.iter(|| ErrorMetrics::exhaustive(&lut))
+    bench("multiplier_analysis_8bit/build_product_lut", || {
+        black_box(m.to_lut());
     });
-    group.finish();
+    bench("multiplier_analysis_8bit/exhaustive_error_metrics", || {
+        black_box(ErrorMetrics::exhaustive(black_box(&lut)));
+    });
 }
-
-criterion_group! {
-    name = kernels;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_forward, bench_backward, bench_gradient_lut_build, bench_lut_and_metrics
-}
-criterion_main!(kernels);

@@ -27,9 +27,10 @@ fn run(mode: GradientMode, hws_label: &str, lut: &Arc<appmult_mult::MultiplierLu
     println!("{hws_label:20} loss {first:.4} -> {last:.4}");
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["mul8u_rm8", "mul8u_1DMU", "mul8u_2NDH", "mul7u_06Q"] {
-        let lut = Arc::new(zoo::entry(name).unwrap().multiplier.to_lut());
+        let entry = zoo::entry(name).ok_or_else(|| format!("unknown zoo multiplier {name}"))?;
+        let lut = Arc::new(entry.multiplier.to_lut());
         println!("== {name} ==");
         run(GradientMode::Ste, "STE", &lut);
         for h in [2u32, 4, 8, 16, 32] {
@@ -37,4 +38,5 @@ fn main() {
         }
         run(GradientMode::RawDifference, "raw-diff", &lut);
     }
+    Ok(())
 }

@@ -19,7 +19,10 @@ use appmult_bench::{
 use appmult_models::ResNetDepth;
 use appmult_mult::zoo;
 
-fn load_cached() -> Option<(Vec<ComparisonRow>, Vec<(String, f64)>)> {
+/// Accuracy reference points: (multiplier name, top-1 %).
+type ReferencePoints = Vec<(String, f64)>;
+
+fn load_cached() -> Option<(Vec<ComparisonRow>, ReferencePoints)> {
     let text = std::fs::read_to_string("results/table2_resnet.csv").ok()?;
     let mut rows = vec![];
     let mut refs = vec![];

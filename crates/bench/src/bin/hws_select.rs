@@ -72,6 +72,13 @@ fn main() {
             eprintln!("[hws] {name} hws={hws}: train loss {loss:.4}");
             loss
         });
+        let selection = match selection {
+            Ok(sel) => sel,
+            Err(e) => {
+                eprintln!("[hws] {name}: sweep failed ({e}); skipping");
+                continue;
+            }
+        };
         for t in &selection.trials {
             csv.push_str(&format!(
                 "{name},{},{:.5},{},{}\n",

@@ -113,13 +113,23 @@ fn main() {
         let hws = match &mut pretrained_lenet {
             Some(lenet) => {
                 let lut = Arc::new(entry.multiplier.to_lut());
-                let sel = select_hws_by_proxy(&lut, &scale, &workload, lenet);
-                eprintln!(
-                    "[table2] {name}: proxy-selected HWS = {} (paper used {})",
-                    sel.best,
-                    entry.recommended_hws()
-                );
-                sel.best
+                match select_hws_by_proxy(&lut, &scale, &workload, lenet) {
+                    Ok(sel) => {
+                        eprintln!(
+                            "[table2] {name}: proxy-selected HWS = {} (paper used {})",
+                            sel.best,
+                            entry.recommended_hws()
+                        );
+                        sel.best
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[table2] {name}: HWS sweep failed ({e}); falling back to paper HWS {}",
+                            entry.recommended_hws()
+                        );
+                        entry.recommended_hws()
+                    }
+                }
             }
             None => entry.recommended_hws(),
         };

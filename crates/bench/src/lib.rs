@@ -10,6 +10,7 @@
 //! | `fig5`   | Fig. 5 — accuracy vs normalized power trade-off |
 //! | `fig6`   | Fig. 6 — top-5 accuracy curves on the CIFAR-100-like task |
 //! | `hws_select` | Table I HWS column — the Sec. V-A selection sweep |
+//! | `fault_sweep` | Retraining accuracy vs injected hardware fault count |
 //!
 //! All experiments run on deterministic synthetic data (see
 //! `appmult-data`) at a CPU-friendly scale by default; pass `--full` for
@@ -27,7 +28,8 @@ use appmult_mult::{Multiplier, MultiplierLut};
 use appmult_nn::optim::{Adam, StepSchedule};
 use appmult_nn::layers::Sequential;
 use appmult_retrain::{
-    evaluate, retrain, Batch, GradientLut, GradientMode, RetrainConfig, RetrainHistory,
+    evaluate, retrain, Batch, GradientLut, GradientMode, ResiliencePolicy, RetrainConfig,
+    RetrainHistory,
 };
 
 /// Which network family an experiment trains.
@@ -170,6 +172,7 @@ pub fn pretrain_float(kind: ModelKind, scale: &Scale, workload: &Workload) -> (S
         epochs: scale.pretrain_epochs,
         schedule: StepSchedule::new(vec![(1, scale.pretrain_lr)]),
         eval_every: usize::MAX,
+        resilience: None,
     };
     let history = retrain(&mut model, &mut opt, &cfg, &workload.train, &workload.test);
     let top1 = history.final_top1();
@@ -208,6 +211,21 @@ pub fn retrain_with_multiplier(
     lut: &Arc<MultiplierLut>,
     mode: GradientMode,
 ) -> RetrainOutcome {
+    retrain_with_multiplier_resilient(kind, scale, workload, pretrained, lut, mode, None)
+}
+
+/// Like [`retrain_with_multiplier`], with an optional resilience policy —
+/// used by the faulty-hardware sweeps, where defective products routinely
+/// blow up the loss.
+pub fn retrain_with_multiplier_resilient(
+    kind: ModelKind,
+    scale: &Scale,
+    workload: &Workload,
+    pretrained: &mut Sequential,
+    lut: &Arc<MultiplierLut>,
+    mode: GradientMode,
+    resilience: Option<ResiliencePolicy>,
+) -> RetrainOutcome {
     let grads = Arc::new(GradientLut::build(lut, mode));
     let conv = ConvMode::approximate(lut.clone(), grads);
     let mut model = kind.build(&scale.model, conv);
@@ -218,6 +236,7 @@ pub fn retrain_with_multiplier(
         epochs: scale.retrain_epochs,
         schedule: scale.schedule.clone(),
         eval_every: 1,
+        resilience,
     };
     let history = retrain(&mut model, &mut opt, &cfg, &workload.train, &workload.test);
     RetrainOutcome {
@@ -255,12 +274,16 @@ impl ComparisonRow {
 /// Selects the half window size for a multiplier with the paper's Sec. V-A
 /// procedure: short LeNet proxy retrainings on the same workload, smallest
 /// final training loss wins.
+///
+/// Returns an [`appmult_retrain::HwsError`] when every proxy run diverges
+/// (e.g. for a heavily faulted multiplier); callers should fall back to a
+/// default HWS rather than abort the whole sweep.
 pub fn select_hws_by_proxy(
     lut: &Arc<MultiplierLut>,
     scale: &Scale,
     workload: &Workload,
     pretrained_lenet: &mut Sequential,
-) -> appmult_retrain::HwsSelection {
+) -> Result<appmult_retrain::HwsSelection, appmult_retrain::HwsError> {
     let mut proxy_scale = scale.clone();
     proxy_scale.retrain_epochs = 2;
     let candidates = appmult_retrain::candidates_for_bits(lut.bits());

@@ -9,8 +9,7 @@
 //! approximate multipliers are, which is the property that stresses the
 //! gradient approximation.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use appmult_rng::Rng64;
 
 use crate::arith::MultiplierCircuit;
 use crate::netlist::{Netlist, Signal};
@@ -113,7 +112,7 @@ fn multiplier_nmed(netlist: &Netlist, bits: u32) -> f64 {
 /// ```
 pub fn synthesize(base: &MultiplierCircuit, cfg: &AlsConfig) -> AlsOutcome {
     let bits = base.bits();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
     let mut netlist = base.netlist().clone();
     let gates_before = netlist.live_gate_count();
     let base_nmed = multiplier_nmed(&netlist, bits);
@@ -149,7 +148,7 @@ pub fn synthesize(base: &MultiplierCircuit, cfg: &AlsConfig) -> AlsOutcome {
             if g.index() == 0 {
                 break;
             }
-            let with = Signal(rng.gen_range(0..g.index()) as u32);
+            let with = Signal(rng.index(g.index()) as u32);
             let mut trial = netlist.clone();
             if trial.replace_with_signal(g, with).is_err() {
                 continue;

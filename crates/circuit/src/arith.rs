@@ -11,18 +11,13 @@ use crate::netlist::{Netlist, NetlistError, Signal};
 use crate::sim::ExhaustiveTable;
 
 /// Reduction style of a generated multiplier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum MultiplierStructure {
     /// Row-by-row carry-propagate array (long critical path, compact).
+    #[default]
     Array,
     /// Wallace-style column compression with a final ripple adder.
     Wallace,
-}
-
-impl Default for MultiplierStructure {
-    fn default() -> Self {
-        MultiplierStructure::Array
-    }
 }
 
 /// A gate-level unsigned multiplier with identified operand/product buses.
@@ -203,11 +198,31 @@ impl MultiplierCircuit {
     /// Exhaustively extracts the product table in the workspace LUT
     /// convention: entry `(w << bits) | x` holds the product of `w` and `x`.
     pub fn exhaustive_products(&self) -> Vec<u64> {
-        let table = ExhaustiveTable::build(&self.netlist);
+        self.reorder_to_lut(ExhaustiveTable::build(&self.netlist))
+    }
+
+    /// Like [`MultiplierCircuit::exhaustive_products`], but with the given
+    /// hardware faults injected (see [`crate::FaultSpec`]). The circuit is
+    /// not mutated; an empty fault list reproduces the fault-free table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if a fault site does not
+    /// belong to this circuit's netlist.
+    pub fn exhaustive_products_faulted(
+        &self,
+        faults: &[crate::fault::FaultSpec],
+    ) -> Result<Vec<u64>, NetlistError> {
+        let table = crate::fault::exhaustive_table_faulted(&self.netlist, faults)?;
+        Ok(self.reorder_to_lut(table))
+    }
+
+    /// Re-orders a raw simulation table (w in low bits, x in high bits) into
+    /// the LUT convention `(w << bits) | x`.
+    fn reorder_to_lut(&self, table: ExhaustiveTable) -> Vec<u64> {
         let b = self.bits;
         let n = 1usize << b;
         let mut lut = vec![0u64; n * n];
-        // Simulation index: w in low bits, x in high bits.
         for x in 0..n {
             for w in 0..n {
                 lut[(w << b) | x] = table.values()[(x << b) | w];

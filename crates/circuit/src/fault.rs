@@ -1,0 +1,291 @@
+//! Gate-level fault injection.
+//!
+//! Models permanent hardware defects in a fabricated multiplier: a gate
+//! output stuck at logic 0 or 1 (the classic stuck-at model used by
+//! manufacturing test), or inverted (a simple bridging/transistor defect
+//! proxy). Faults are described *outside* the netlist by [`FaultSpec`]
+//! values and applied as an overlay during simulation, so the same
+//! [`Netlist`] can be evaluated under many fault scenarios without being
+//! cloned or mutated.
+//!
+//! This backs the faulty-hardware retraining sweeps: extract the faulted
+//! truth table with [`exhaustive_table_faulted`] (or
+//! [`crate::MultiplierCircuit::exhaustive_products_faulted`]), wrap it as a
+//! product LUT, and retrain against the defective design.
+//!
+//! # Example
+//!
+//! ```
+//! use appmult_circuit::{fault_sites, FaultSpec, MultiplierCircuit};
+//!
+//! let mult = MultiplierCircuit::array(4);
+//! let sites = fault_sites(mult.netlist());
+//! assert!(!sites.is_empty());
+//!
+//! // Break one gate and extract the defective product table.
+//! let faults = [FaultSpec::stuck_at_1(sites[0])];
+//! let faulty = mult.exhaustive_products_faulted(&faults).unwrap();
+//! assert_eq!(faulty.len(), 256);
+//! ```
+
+use crate::netlist::{Netlist, NetlistError, Signal};
+use crate::sim::{simulate_words_into_overlay, ExhaustiveTable};
+
+/// The defect model applied to a gate output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Output permanently reads logic 0.
+    StuckAt0,
+    /// Output permanently reads logic 1.
+    StuckAt1,
+    /// Output reads the complement of the fault-free value.
+    OutputInvert,
+}
+
+impl FaultKind {
+    /// Applies the fault to a 64-lane simulation word of fault-free values.
+    pub fn apply(self, word: u64) -> u64 {
+        match self {
+            FaultKind::StuckAt0 => 0,
+            FaultKind::StuckAt1 => u64::MAX,
+            FaultKind::OutputInvert => !word,
+        }
+    }
+
+    /// All defect models, in a fixed order (useful for sweeps).
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::StuckAt0,
+        FaultKind::StuckAt1,
+        FaultKind::OutputInvert,
+    ];
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::StuckAt0 => "sa0",
+            FaultKind::StuckAt1 => "sa1",
+            FaultKind::OutputInvert => "inv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One injected fault: a defect model at a specific netlist node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// The node whose output is defective.
+    pub site: Signal,
+    /// The defect model.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// A stuck-at-0 fault at `site`.
+    pub fn stuck_at_0(site: Signal) -> Self {
+        Self { site, kind: FaultKind::StuckAt0 }
+    }
+
+    /// A stuck-at-1 fault at `site`.
+    pub fn stuck_at_1(site: Signal) -> Self {
+        Self { site, kind: FaultKind::StuckAt1 }
+    }
+
+    /// An output-inversion fault at `site`.
+    pub fn output_invert(site: Signal) -> Self {
+        Self { site, kind: FaultKind::OutputInvert }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.kind, self.site)
+    }
+}
+
+/// Enumerates the injectable fault sites of a netlist: every silicon-bearing
+/// gate that is live (reachable from the primary outputs). Dead gates and
+/// free nodes (inputs, constants, buffers) are excluded — a defect there
+/// either cannot exist or cannot be observed.
+pub fn fault_sites(netlist: &Netlist) -> Vec<Signal> {
+    let live = netlist.live_mask();
+    netlist
+        .iter()
+        .filter(|(s, g)| live[s.index()] && g.kind.is_physical())
+        .map(|(s, _)| s)
+        .collect()
+}
+
+/// Compiles fault specs into a per-node overlay for the simulator.
+///
+/// When several faults target the same site, the last one wins (mirroring a
+/// physical defect: a node has one actual behaviour).
+fn compile_overlay(
+    netlist: &Netlist,
+    faults: &[FaultSpec],
+) -> Result<Vec<Option<FaultKind>>, NetlistError> {
+    let mut overlay = vec![None; netlist.num_nodes()];
+    for f in faults {
+        if f.site.index() >= netlist.num_nodes() {
+            return Err(NetlistError::UnknownSignal(f.site));
+        }
+        overlay[f.site.index()] = Some(f.kind);
+    }
+    Ok(overlay)
+}
+
+/// Like [`crate::simulate_words`], but with `faults` injected.
+///
+/// The netlist itself is untouched; an empty fault list reproduces the
+/// fault-free simulation bit for bit.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownSignal`] if a fault site does not belong
+/// to this netlist.
+///
+/// # Panics
+///
+/// Panics if `input_words.len()` differs from the number of primary inputs.
+pub fn simulate_words_faulted(
+    netlist: &Netlist,
+    faults: &[FaultSpec],
+    input_words: &[u64],
+) -> Result<Vec<u64>, NetlistError> {
+    let overlay = compile_overlay(netlist, faults)?;
+    let mut scratch = Vec::new();
+    simulate_words_into_overlay(netlist, input_words, &mut scratch, &overlay);
+    Ok(netlist.outputs().iter().map(|s| scratch[s.index()]).collect())
+}
+
+/// Like [`ExhaustiveTable::build`], but with `faults` injected.
+///
+/// An empty fault list yields a table identical to the fault-free build.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownSignal`] if a fault site does not belong
+/// to this netlist.
+///
+/// # Panics
+///
+/// Panics under the same size limits as [`ExhaustiveTable::build`].
+pub fn exhaustive_table_faulted(
+    netlist: &Netlist,
+    faults: &[FaultSpec],
+) -> Result<ExhaustiveTable, NetlistError> {
+    let overlay = compile_overlay(netlist, faults)?;
+    Ok(ExhaustiveTable::build_with(netlist, |nl, words, scratch| {
+        simulate_words_into_overlay(nl, words, scratch, &overlay);
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::MultiplierCircuit;
+    use crate::sim::simulate_words;
+
+    fn adder_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let (s, co) = nl.full_adder(a, b, c);
+        nl.set_outputs(vec![s, co]);
+        nl
+    }
+
+    #[test]
+    fn empty_fault_list_is_identity() {
+        let nl = adder_netlist();
+        let words = [0xDEAD_BEEF_0123_4567, 0xAAAA_5555_FFFF_0000, 0x0F0F_F0F0_CAFE_BABE];
+        let clean = simulate_words(&nl, &words);
+        let faulted = simulate_words_faulted(&nl, &[], &words).unwrap();
+        assert_eq!(clean, faulted);
+        let t0 = ExhaustiveTable::build(&nl);
+        let t1 = exhaustive_table_faulted(&nl, &[]).unwrap();
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn stuck_at_forces_output() {
+        let nl = adder_netlist();
+        let sum = nl.outputs()[0];
+        let t = exhaustive_table_faulted(&nl, &[FaultSpec::stuck_at_1(sum)]).unwrap();
+        for v in t.values() {
+            assert_eq!(v & 1, 1, "sum bit must be stuck at 1");
+        }
+        let t = exhaustive_table_faulted(&nl, &[FaultSpec::stuck_at_0(sum)]).unwrap();
+        for v in t.values() {
+            assert_eq!(v & 1, 0, "sum bit must be stuck at 0");
+        }
+    }
+
+    #[test]
+    fn output_invert_complements_one_bit() {
+        let nl = adder_netlist();
+        let carry = nl.outputs()[1];
+        let clean = ExhaustiveTable::build(&nl);
+        let inv = exhaustive_table_faulted(&nl, &[FaultSpec::output_invert(carry)]).unwrap();
+        for (c, f) in clean.values().iter().zip(inv.values()) {
+            assert_eq!(c ^ 0b10, *f);
+        }
+    }
+
+    #[test]
+    fn unknown_site_is_rejected() {
+        let nl = adder_netlist();
+        let bogus = Signal(nl.num_nodes() as u32 + 7);
+        let err = simulate_words_faulted(&nl, &[FaultSpec::stuck_at_0(bogus)], &[0, 0, 0]);
+        assert!(matches!(err, Err(NetlistError::UnknownSignal(_))));
+        assert!(exhaustive_table_faulted(&nl, &[FaultSpec::output_invert(bogus)]).is_err());
+    }
+
+    #[test]
+    fn last_fault_wins_on_shared_site() {
+        let nl = adder_netlist();
+        let sum = nl.outputs()[0];
+        let faults = [FaultSpec::stuck_at_1(sum), FaultSpec::stuck_at_0(sum)];
+        let t = exhaustive_table_faulted(&nl, &faults).unwrap();
+        for v in t.values() {
+            assert_eq!(v & 1, 0);
+        }
+    }
+
+    #[test]
+    fn fault_sites_are_live_physical_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let used = nl.and(a, b);
+        let _dead = nl.xor(a, b);
+        let buffed = nl.buf(used);
+        nl.set_outputs(vec![buffed]);
+        let sites = fault_sites(&nl);
+        // Only the AND gate: inputs/buffers are free, the XOR is dead.
+        assert_eq!(sites, vec![used]);
+    }
+
+    #[test]
+    fn faulted_multiplier_stays_in_output_bus() {
+        let mult = MultiplierCircuit::array(4);
+        let sites = fault_sites(mult.netlist());
+        for (i, &site) in sites.iter().enumerate().step_by(7) {
+            let kind = FaultKind::ALL[i % 3];
+            let lut = mult
+                .exhaustive_products_faulted(&[FaultSpec { site, kind }])
+                .unwrap();
+            assert_eq!(lut.len(), 256);
+            for &p in &lut {
+                assert!(p < 256, "product must fit the 8-bit output bus");
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", FaultKind::StuckAt0), "sa0");
+        assert_eq!(format!("{}", FaultSpec::output_invert(Signal(3))), "inv@n3");
+    }
+}

@@ -5,8 +5,10 @@
 //! used in the paper (array and Wallace-tree multipliers, ripple-carry
 //! adders), a 64-way bit-parallel logic simulator with exhaustive
 //! truth-table extraction, an ASAP7-calibrated area/delay/power cost model,
-//! and a greedy approximate logic synthesis (ALS) pass that generates the
-//! `_syn` multipliers of the paper's Table I.
+//! a greedy approximate logic synthesis (ALS) pass that generates the
+//! `_syn` multipliers of the paper's Table I, and a fault-injection overlay
+//! (stuck-at / output-invert) for extracting truth tables of defective
+//! hardware without mutating the netlist.
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@ mod arith;
 mod cost;
 mod dots;
 mod export;
+mod fault;
 mod netlist;
 mod sim;
 
@@ -38,5 +41,8 @@ pub use arith::{MultiplierCircuit, MultiplierStructure, ripple_carry_adder, Adde
 pub use dots::DotColumns;
 pub use export::{to_blif, to_verilog};
 pub use cost::{CostModel, GateCosts, HardwareCost};
+pub use fault::{
+    exhaustive_table_faulted, fault_sites, simulate_words_faulted, FaultKind, FaultSpec,
+};
 pub use netlist::{GateKind, Netlist, Signal, NetlistError};
 pub use sim::{simulate_words, simulate_bools, ExhaustiveTable};

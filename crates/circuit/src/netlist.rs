@@ -18,6 +18,13 @@ impl Signal {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a signal from a raw node index (e.g. a fault site read
+    /// from a sweep configuration). The index is validated only when the
+    /// signal is used against a concrete netlist.
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
 }
 
 impl fmt::Display for Signal {
@@ -213,11 +220,10 @@ impl Netlist {
     }
 
     fn push(&mut self, kind: GateKind, fanins: [Signal; 2]) -> Signal {
-        for k in 0..kind.arity() {
+        for fanin in fanins.iter().take(kind.arity()) {
             debug_assert!(
-                fanins[k].index() < self.gates.len(),
-                "fanin {} not yet defined",
-                fanins[k]
+                fanin.index() < self.gates.len(),
+                "fanin {fanin} not yet defined"
             );
         }
         let s = Signal(self.gates.len() as u32);

@@ -5,6 +5,7 @@
 //! vectors at once. This is the standard EDA trick that makes exhaustive
 //! evaluation of 16-bit input spaces (8-bit × 8-bit multipliers) cheap.
 
+use crate::fault::FaultKind;
 use crate::netlist::{GateKind, Netlist};
 
 /// Simulates 64 patterns at once.
@@ -24,6 +25,18 @@ pub fn simulate_words(netlist: &Netlist, input_words: &[u64]) -> Vec<u64> {
 /// Like [`simulate_words`] but writes every node value into `scratch`,
 /// avoiding per-call allocation. `scratch` is resized as needed.
 pub fn simulate_words_into(netlist: &Netlist, input_words: &[u64], scratch: &mut Vec<u64>) {
+    simulate_words_into_overlay(netlist, input_words, scratch, &[]);
+}
+
+/// Core simulation loop with an optional fault overlay: after a node is
+/// evaluated, `overlay[node]` (when present and `Some`) rewrites its value.
+/// An empty overlay simulates the fault-free netlist.
+pub(crate) fn simulate_words_into_overlay(
+    netlist: &Netlist,
+    input_words: &[u64],
+    scratch: &mut Vec<u64>,
+    overlay: &[Option<FaultKind>],
+) {
     assert_eq!(
         input_words.len(),
         netlist.num_inputs(),
@@ -33,7 +46,7 @@ pub fn simulate_words_into(netlist: &Netlist, input_words: &[u64], scratch: &mut
     scratch.resize(netlist.num_nodes(), 0);
     let mut next_input = 0;
     for (sig, gate) in netlist.iter() {
-        let v = match gate.kind {
+        let mut v = match gate.kind {
             GateKind::Input => {
                 let w = input_words[next_input];
                 next_input += 1;
@@ -54,6 +67,9 @@ pub fn simulate_words_into(netlist: &Netlist, input_words: &[u64], scratch: &mut
                 !(scratch[gate.fanins[0].index()] ^ scratch[gate.fanins[1].index()])
             }
         };
+        if let Some(Some(fault)) = overlay.get(sig.index()) {
+            v = fault.apply(v);
+        }
         scratch[sig.index()] = v;
     }
 }
@@ -106,6 +122,17 @@ impl ExhaustiveTable {
     /// Panics if the netlist has more than 24 primary inputs (the table would
     /// exceed 16M entries) or more than 64 outputs.
     pub fn build(netlist: &Netlist) -> Self {
+        Self::build_with(netlist, simulate_words_into)
+    }
+
+    /// Builds the table with a caller-supplied simulation kernel (same
+    /// contract as [`simulate_words_into`]). This is how the fault-injection
+    /// module extracts truth tables of defective hardware without mutating
+    /// the netlist.
+    pub(crate) fn build_with<F>(netlist: &Netlist, mut sim: F) -> Self
+    where
+        F: FnMut(&Netlist, &[u64], &mut Vec<u64>),
+    {
         let n = netlist.num_inputs() as u32;
         assert!(n <= 24, "exhaustive table limited to 24 input bits, got {n}");
         assert!(netlist.outputs().len() <= 64, "at most 64 output bits");
@@ -125,7 +152,7 @@ impl ExhaustiveTable {
                     *word = if (base >> i) & 1 == 1 { u64::MAX } else { 0 };
                 }
             }
-            simulate_words_into(netlist, &input_words, &mut scratch);
+            sim(netlist, &input_words, &mut scratch);
             let lanes = (total - w * 64).min(64);
             for lane in 0..lanes {
                 let mut out = 0u64;

@@ -1,50 +1,72 @@
-//! Property-based tests for the gate-level substrate.
+//! Randomized property tests for the gate-level substrate.
+//!
+//! These use the in-tree `appmult-rng` generator (the build environment
+//! has no network access for proptest); each test draws a fixed number
+//! of deterministic cases from a seeded stream.
 
 use appmult_circuit::{
-    ripple_carry_adder, synthesize, AlsConfig, MultiplierCircuit, MultiplierStructure, Netlist,
+    fault_sites, ripple_carry_adder, synthesize, AlsConfig, FaultKind, FaultSpec,
+    MultiplierCircuit, MultiplierStructure, Netlist,
 };
-use proptest::prelude::*;
+use appmult_rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Gate-level array multiplication equals integer multiplication.
-    #[test]
-    fn array_multiplier_matches_integers(w in 0u64..64, x in 0u64..64) {
-        let m = MultiplierCircuit::array(6);
-        prop_assert_eq!(m.multiply(w, x), w * x);
+/// Gate-level array multiplication equals integer multiplication.
+#[test]
+fn array_multiplier_matches_integers() {
+    let mut rng = Rng64::seed_from_u64(0xC1);
+    let m = MultiplierCircuit::array(6);
+    for _ in 0..48 {
+        let (w, x) = (rng.below(64), rng.below(64));
+        assert_eq!(m.multiply(w, x), w * x, "{w}*{x}");
     }
+}
 
-    /// Wallace and array reductions compute the same function.
-    #[test]
-    fn wallace_equals_array(w in 0u64..32, x in 0u64..32) {
-        let a = MultiplierCircuit::array(5);
-        let b = MultiplierCircuit::wallace(5);
-        prop_assert_eq!(a.multiply(w, x), b.multiply(w, x));
+/// Wallace and array reductions compute the same function.
+#[test]
+fn wallace_equals_array() {
+    let mut rng = Rng64::seed_from_u64(0xC2);
+    let a = MultiplierCircuit::array(5);
+    let b = MultiplierCircuit::wallace(5);
+    for _ in 0..48 {
+        let (w, x) = (rng.below(32), rng.below(32));
+        assert_eq!(a.multiply(w, x), b.multiply(w, x), "{w}*{x}");
     }
+}
 
-    /// Truncated multipliers always under-approximate the exact product
-    /// (removed partial products can only subtract).
-    #[test]
-    fn truncation_underestimates(w in 0u64..32, x in 0u64..32, k in 1u32..5) {
+/// Truncated multipliers always under-approximate the exact product
+/// (removed partial products can only subtract).
+#[test]
+fn truncation_underestimates() {
+    let mut rng = Rng64::seed_from_u64(0xC3);
+    for _ in 0..48 {
+        let (w, x) = (rng.below(32), rng.below(32));
+        let k = 1 + rng.below(4) as u32;
         let m = MultiplierCircuit::with_removed_columns(5, k, MultiplierStructure::Array);
-        prop_assert!(m.multiply(w, x) <= w * x);
+        assert!(m.multiply(w, x) <= w * x, "rm{k}: {w}*{x}");
     }
+}
 
-    /// Ripple-carry adder equals integer addition.
-    #[test]
-    fn adder_matches_integers(a in 0u64..256, b in 0u64..256) {
-        let adder = ripple_carry_adder(8);
-        prop_assert_eq!(adder.add(a, b), a + b);
+/// Ripple-carry adder equals integer addition.
+#[test]
+fn adder_matches_integers() {
+    let mut rng = Rng64::seed_from_u64(0xC4);
+    let adder = ripple_carry_adder(8);
+    for _ in 0..48 {
+        let (a, b) = (rng.below(256), rng.below(256));
+        assert_eq!(adder.add(a, b), a + b, "{a}+{b}");
     }
+}
 
-    /// Word-parallel simulation is consistent with scalar simulation on a
-    /// random netlist.
-    #[test]
-    fn word_sim_equals_bool_sim(
-        seed_bits in proptest::collection::vec(any::<bool>(), 4),
-        ops in proptest::collection::vec(0u8..6, 1..20),
-    ) {
+/// Word-parallel simulation is consistent with scalar simulation on a
+/// random netlist.
+#[test]
+fn word_sim_equals_bool_sim() {
+    let mut rng = Rng64::seed_from_u64(0xC5);
+    for _ in 0..48 {
+        let seed_bits: Vec<bool> = (0..4).map(|_| rng.chance(0.5)).collect();
+        let n_ops = 1 + rng.index(19);
+        let ops: Vec<u8> = (0..n_ops).map(|_| rng.below(6) as u8).collect();
+
         let mut nl = Netlist::new();
         let mut signals: Vec<_> = (0..4).map(|_| nl.input()).collect();
         for (i, op) in ops.iter().enumerate() {
@@ -62,27 +84,103 @@ proptest! {
         }
         let last = *signals.last().expect("nonempty");
         nl.set_outputs(vec![last]);
-        prop_assert!(nl.validate().is_ok());
+        assert!(nl.validate().is_ok());
 
         let scalar = appmult_circuit::simulate_bools(&nl, &seed_bits)[0];
-        let words: Vec<u64> = seed_bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let words: Vec<u64> = seed_bits
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         let word = appmult_circuit::simulate_words(&nl, &words)[0];
-        prop_assert_eq!(word == u64::MAX, scalar);
-        prop_assert!(word == 0 || word == u64::MAX);
+        assert_eq!(word == u64::MAX, scalar);
+        assert!(word == 0 || word == u64::MAX);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+/// Injecting zero faults reproduces the fault-free product table bit for
+/// bit, for every generated multiplier structure.
+#[test]
+fn zero_faults_is_identity() {
+    let mut rng = Rng64::seed_from_u64(0xC7);
+    for _ in 0..12 {
+        let bits = 2 + rng.below(4) as u32;
+        let removed = rng.below(u64::from(bits)) as u32;
+        let structure = if rng.chance(0.5) {
+            MultiplierStructure::Array
+        } else {
+            MultiplierStructure::Wallace
+        };
+        let m = MultiplierCircuit::with_removed_columns(bits, removed, structure);
+        assert_eq!(
+            m.exhaustive_products_faulted(&[]).expect("no faults"),
+            m.exhaustive_products(),
+            "{structure:?} rm{removed} {bits}-bit"
+        );
+    }
+}
 
-    /// ALS never exceeds its NMED budget, for any budget.
-    #[test]
-    fn als_respects_any_budget(budget in 0.0f64..0.01, seed in 0u64..4) {
+/// Fault extraction is a pure function: the same fault list yields the
+/// same table on repeated extraction, and the circuit is not mutated
+/// (its fault-free table is unchanged afterwards).
+#[test]
+fn stuck_at_faults_are_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0xC8);
+    let m = MultiplierCircuit::wallace(5);
+    let clean = m.exhaustive_products();
+    let sites = fault_sites(m.netlist());
+    for _ in 0..12 {
+        let n_faults = 1 + rng.index(4);
+        let faults: Vec<FaultSpec> = (0..n_faults)
+            .map(|_| FaultSpec {
+                site: sites[rng.index(sites.len())],
+                kind: FaultKind::ALL[rng.index(3)],
+            })
+            .collect();
+        let a = m.exhaustive_products_faulted(&faults).expect("valid sites");
+        let b = m.exhaustive_products_faulted(&faults).expect("valid sites");
+        assert_eq!(a, b, "same faults must give the same table");
+        assert_eq!(m.exhaustive_products(), clean, "netlist must stay intact");
+    }
+}
+
+/// A stuck-at fault on a live gate pins that node: re-extracting with the
+/// opposite stuck-at value gives a different table unless the gate was
+/// already constant.
+#[test]
+fn stuck_at_values_differ_somewhere() {
+    let m = MultiplierCircuit::array(4);
+    let sites = fault_sites(m.netlist());
+    let mut observed_difference = false;
+    for &site in sites.iter().step_by(5) {
+        let sa0 = m
+            .exhaustive_products_faulted(&[FaultSpec::stuck_at_0(site)])
+            .expect("valid site");
+        let sa1 = m
+            .exhaustive_products_faulted(&[FaultSpec::stuck_at_1(site)])
+            .expect("valid site");
+        if sa0 != sa1 {
+            observed_difference = true;
+        }
+    }
+    assert!(observed_difference, "sa0 and sa1 must be distinguishable");
+}
+
+/// ALS never exceeds its NMED budget, for any budget.
+#[test]
+fn als_respects_any_budget() {
+    let mut rng = Rng64::seed_from_u64(0xC6);
+    for _ in 0..6 {
+        let budget = rng.uniform_f64(0.0, 0.01);
+        let seed = rng.below(4);
         let exact = MultiplierCircuit::array(4);
-        let cfg = AlsConfig { nmed_budget: budget, seed, ..AlsConfig::default() };
+        let cfg = AlsConfig {
+            nmed_budget: budget,
+            seed,
+            ..AlsConfig::default()
+        };
         let out = synthesize(&exact, &cfg);
-        prop_assert!(out.nmed <= budget + 1e-12);
+        assert!(out.nmed <= budget + 1e-12, "budget {budget}, nmed {}", out.nmed);
         // The rewritten circuit still has the full output bus.
-        prop_assert_eq!(out.circuit.exhaustive_products().len(), 256);
+        assert_eq!(out.circuit.exhaustive_products().len(), 256);
     }
 }

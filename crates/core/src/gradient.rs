@@ -266,11 +266,11 @@ fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule) -> Vec<f
         if rule == BoundaryRule::ClampToInterior {
             if let (Some(first), Some(last)) = (first_interior, last_interior) {
                 let (head, tail) = (out_row[first], out_row[last]);
-                for x in 0..first {
-                    out_row[x] = head;
+                for v in &mut out_row[..first] {
+                    *v = head;
                 }
-                for x in last + 1..n {
-                    out_row[x] = tail;
+                for v in &mut out_row[last + 1..n] {
+                    *v = tail;
                 }
             }
         }

@@ -28,14 +28,43 @@ pub struct HwsSelection {
     pub trials: Vec<HwsTrial>,
 }
 
+/// Why an HWS sweep could not produce a selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwsError {
+    /// The candidate list was empty, so there was nothing to sweep.
+    NoCandidates,
+    /// Every proxy run returned a non-finite loss; the trials are included
+    /// so callers can report what was attempted.
+    AllDiverged(Vec<HwsTrial>),
+}
+
+impl std::fmt::Display for HwsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwsError::NoCandidates => write!(f, "HWS sweep got an empty candidate list"),
+            HwsError::AllDiverged(trials) => {
+                let hws: Vec<String> = trials.iter().map(|t| t.hws.to_string()).collect();
+                write!(
+                    f,
+                    "every HWS proxy run diverged (non-finite loss for candidates {})",
+                    hws.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwsError {}
+
 /// Sweeps `candidates`, calling `proxy_loss(hws)` for each (a short
 /// retraining run returning its final training loss), and picks the
 /// candidate with the smallest loss. Candidates whose proxy loss is not
 /// finite are skipped.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `candidates` is empty or every proxy loss is non-finite.
+/// Returns [`HwsError::NoCandidates`] if `candidates` is empty and
+/// [`HwsError::AllDiverged`] if every proxy loss is non-finite.
 ///
 /// # Example
 ///
@@ -45,12 +74,18 @@ pub struct HwsSelection {
 /// // A synthetic proxy with a sweet spot at 8.
 /// let sel = select_hws(&PAPER_HWS_CANDIDATES, |hws| {
 ///     ((hws as f64).log2() - 3.0).abs()
-/// });
+/// })
+/// .unwrap();
 /// assert_eq!(sel.best, 8);
 /// assert_eq!(sel.trials.len(), 7);
 /// ```
-pub fn select_hws<F: FnMut(u32) -> f64>(candidates: &[u32], mut proxy_loss: F) -> HwsSelection {
-    assert!(!candidates.is_empty(), "no HWS candidates");
+pub fn select_hws<F: FnMut(u32) -> f64>(
+    candidates: &[u32],
+    mut proxy_loss: F,
+) -> Result<HwsSelection, HwsError> {
+    if candidates.is_empty() {
+        return Err(HwsError::NoCandidates);
+    }
     let mut trials = Vec::with_capacity(candidates.len());
     for &hws in candidates {
         let train_loss = proxy_loss(hws);
@@ -59,10 +94,14 @@ pub fn select_hws<F: FnMut(u32) -> f64>(candidates: &[u32], mut proxy_loss: F) -
     let best = trials
         .iter()
         .filter(|t| t.train_loss.is_finite())
-        .min_by(|a, b| a.train_loss.total_cmp(&b.train_loss))
-        .expect("every proxy run diverged")
-        .hws;
-    HwsSelection { best, trials }
+        .min_by(|a, b| a.train_loss.total_cmp(&b.train_loss));
+    match best {
+        Some(t) => Ok(HwsSelection {
+            best: t.hws,
+            trials,
+        }),
+        None => Err(HwsError::AllDiverged(trials)),
+    }
 }
 
 /// Filters the paper's candidate set down to values that are meaningful
@@ -83,7 +122,7 @@ mod tests {
 
     #[test]
     fn picks_minimum_loss() {
-        let sel = select_hws(&[1, 2, 4], |h| (h as f64 - 2.0).powi(2));
+        let sel = select_hws(&[1, 2, 4], |h| (h as f64 - 2.0).powi(2)).unwrap();
         assert_eq!(sel.best, 2);
     }
 
@@ -95,7 +134,8 @@ mod tests {
             } else {
                 h as f64
             }
-        });
+        })
+        .unwrap();
         assert_eq!(sel.best, 2);
     }
 
@@ -107,8 +147,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "diverged")]
-    fn all_nan_panics() {
-        select_hws(&[1, 2], |_| f64::NAN);
+    fn all_nan_is_a_descriptive_error() {
+        let err = select_hws(&[1, 2], |_| f64::NAN).unwrap_err();
+        assert!(matches!(&err, HwsError::AllDiverged(trials) if trials.len() == 2));
+        let msg = err.to_string();
+        assert!(msg.contains("diverged"), "message: {msg}");
+        assert!(msg.contains("1, 2"), "message: {msg}");
+    }
+
+    #[test]
+    fn empty_candidates_is_an_error() {
+        let err = select_hws(&[], |_| 0.0).unwrap_err();
+        assert_eq!(err, HwsError::NoCandidates);
+        assert!(err.to_string().contains("empty candidate list"));
     }
 }

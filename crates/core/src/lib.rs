@@ -40,12 +40,16 @@ mod gradient;
 mod hws;
 mod layers;
 mod quant;
+mod resilience;
 mod retrainer;
 mod smoothing;
 
 pub use gradient::{GradientLut, GradientMode};
-pub use hws::{candidates_for_bits, select_hws, HwsSelection, HwsTrial, PAPER_HWS_CANDIDATES};
+pub use hws::{
+    candidates_for_bits, select_hws, HwsError, HwsSelection, HwsTrial, PAPER_HWS_CANDIDATES,
+};
 pub use layers::{ApproxConv2d, ApproxLinear, QuantConfig};
 pub use quant::{dequantize_dot, Observer, QuantParams};
+pub use resilience::ResiliencePolicy;
 pub use retrainer::{evaluate, retrain, Batch, EpochStats, RetrainConfig, RetrainHistory};
 pub use smoothing::smooth_row;

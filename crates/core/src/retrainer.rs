@@ -5,6 +5,8 @@ use appmult_nn::metrics::{top_k_accuracy, RunningMean};
 use appmult_nn::optim::{Optimizer, StepSchedule};
 use appmult_nn::{Module, Tensor};
 
+use crate::resilience::{ResiliencePolicy, RollbackGuard};
+
 /// One pre-assembled mini-batch: NCHW images and integer labels.
 pub type Batch = (Tensor, Vec<usize>);
 
@@ -21,6 +23,10 @@ pub struct RetrainConfig {
     /// Evaluate on the test set every `eval_every` epochs (always on the
     /// final epoch).
     pub eval_every: usize,
+    /// NaN-guard / divergence-rollback policy. `None` (the default) keeps
+    /// the legacy loop numerics untouched; set it when retraining against
+    /// defective hardware (see the `appmult-mult` fault models).
+    pub resilience: Option<ResiliencePolicy>,
 }
 
 impl Default for RetrainConfig {
@@ -29,6 +35,7 @@ impl Default for RetrainConfig {
             epochs: 30,
             schedule: StepSchedule::paper_default(),
             eval_every: 1,
+            resilience: None,
         }
     }
 }
@@ -40,7 +47,14 @@ impl RetrainConfig {
             epochs,
             schedule: StepSchedule::new(vec![(1, 1e-3)]),
             eval_every: 1,
+            resilience: None,
         }
+    }
+
+    /// Enables the given resilience policy (builder style).
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(policy);
+        self
     }
 }
 
@@ -57,6 +71,12 @@ pub struct EpochStats {
     pub test_top1: Option<f64>,
     /// Top-5 test accuracy.
     pub test_top5: Option<f64>,
+    /// Non-finite gradient entries zeroed this epoch (0 without a
+    /// [`ResiliencePolicy`]).
+    pub scrubbed_grads: usize,
+    /// Rollbacks to the best checkpoint performed at the end of this epoch
+    /// (0 or 1; always 0 without a [`ResiliencePolicy`]).
+    pub rollbacks: usize,
 }
 
 /// Full history of a retraining run.
@@ -97,6 +117,16 @@ impl RetrainHistory {
     pub fn final_train_loss(&self) -> f64 {
         self.epochs.last().map(|e| e.train_loss).unwrap_or(f64::NAN)
     }
+
+    /// Total rollbacks performed across the run.
+    pub fn total_rollbacks(&self) -> usize {
+        self.epochs.iter().map(|e| e.rollbacks).sum()
+    }
+
+    /// Total non-finite gradient entries scrubbed across the run.
+    pub fn total_scrubbed_grads(&self) -> usize {
+        self.epochs.iter().map(|e| e.scrubbed_grads).sum()
+    }
 }
 
 /// Evaluates top-1/top-5 accuracy of `model` over `batches` in eval mode.
@@ -119,6 +149,15 @@ pub fn evaluate(model: &mut dyn Module, batches: &[Batch]) -> (f64, f64) {
 /// the optimizer, and the batched data; this keeps the loop reusable for
 /// STE-vs-ours comparisons on identical initial conditions.
 ///
+/// With [`RetrainConfig::resilience`] set, each batch's gradients are
+/// scrubbed of non-finite entries and norm-clipped before the optimizer
+/// step, non-finite batch losses are excluded from the epoch mean, and
+/// diverged epochs roll the model back to the best in-memory checkpoint
+/// with a compounding learning-rate backoff. The optimizer's internal
+/// state (momentum, Adam moments) is intentionally *not* rolled back —
+/// it decays on its own and rebuilding it would require optimizer
+/// cooperation.
+///
 /// # Panics
 ///
 /// Panics if `train` is empty.
@@ -131,10 +170,17 @@ pub fn retrain(
 ) -> RetrainHistory {
     assert!(!train.is_empty(), "no training batches");
     let mut history = RetrainHistory::default();
+    let mut guard = config
+        .resilience
+        .clone()
+        .map(|policy| RollbackGuard::new(policy, model));
     for epoch in 1..=config.epochs {
-        let lr = config.schedule.lr_for_epoch(epoch);
+        let lr_scale = guard.as_ref().map_or(1.0, |g| g.lr_scale);
+        let lr = config.schedule.lr_for_epoch(epoch) * lr_scale;
         optimizer.set_lr(lr);
         let mut loss_mean = RunningMean::new();
+        let mut scrubbed_grads = 0usize;
+        let mut nonfinite_batches = 0usize;
         // Deterministic batch-order shuffle that varies per epoch.
         let order = shuffled_order(train.len(), epoch as u64);
         for &bi in &order {
@@ -142,10 +188,21 @@ pub fn retrain(
             let logits = model.forward(x, true);
             let (loss, grad) = softmax_cross_entropy(&logits, labels);
             model.backward(&grad);
+            if let Some(g) = &guard {
+                scrubbed_grads += g.scrub(model);
+            }
             optimizer.step(model);
             model.zero_grad();
-            loss_mean.add(f64::from(loss), labels.len() as u64);
+            if guard.is_some() && !loss.is_finite() {
+                nonfinite_batches += 1;
+            } else {
+                loss_mean.add(f64::from(loss), labels.len() as u64);
+            }
         }
+        let train_loss = loss_mean.mean();
+        let rollbacks = guard
+            .as_mut()
+            .map_or(0, |g| g.observe_epoch(model, train_loss, nonfinite_batches > 0));
         let evaluate_now =
             !test.is_empty() && (epoch % config.eval_every == 0 || epoch == config.epochs);
         let (t1, t5) = if evaluate_now {
@@ -157,9 +214,11 @@ pub fn retrain(
         history.epochs.push(EpochStats {
             epoch,
             lr,
-            train_loss: loss_mean.mean(),
+            train_loss,
             test_top1: t1,
             test_top5: t5,
+            scrubbed_grads,
+            rollbacks,
         });
     }
     history
@@ -227,6 +286,7 @@ mod tests {
             epochs: 5,
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 1,
+            resilience: None,
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         assert_eq!(history.epochs.len(), 5);
@@ -245,6 +305,7 @@ mod tests {
             epochs: 3,
             schedule: StepSchedule::new(vec![(1, 1e-3), (3, 1e-4)]),
             eval_every: 10,
+            resilience: None,
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
         assert_eq!(history.epochs[0].lr, 1e-3);
@@ -263,11 +324,106 @@ mod tests {
             epochs: 3,
             schedule: StepSchedule::new(vec![(1, 1e-3)]),
             eval_every: 2,
+            resilience: None,
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         assert!(history.epochs[0].test_top1.is_none());
         assert!(history.epochs[1].test_top1.is_some());
         assert!(history.epochs[2].test_top1.is_some()); // final epoch
+    }
+
+    #[test]
+    fn nan_batch_without_policy_destroys_training() {
+        let mut train = two_blob_batches(4, 3);
+        // One poisoned batch: a NaN pixel wrecks every logit it touches.
+        train[1].0.as_mut_slice()[0] = f32::NAN;
+        let mut model = tiny_model(1);
+        let mut opt = Adam::new(1e-2);
+        let cfg = RetrainConfig {
+            epochs: 3,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 1,
+            resilience: None,
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
+        assert!(history.final_train_loss().is_nan());
+        assert_eq!(history.total_rollbacks(), 0);
+    }
+
+    #[test]
+    fn nan_batch_with_policy_recovers_with_recorded_rollback() {
+        let mut train = two_blob_batches(4, 3);
+        train[1].0.as_mut_slice()[0] = f32::NAN;
+        let test = two_blob_batches(2, 99);
+        let mut model = tiny_model(1);
+        let mut opt = Adam::new(1e-2);
+        let cfg = RetrainConfig {
+            epochs: 5,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 1,
+            resilience: Some(crate::ResiliencePolicy::default()),
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+        // The poisoned batch keeps firing, so the guard must have stepped in.
+        assert!(history.total_rollbacks() >= 1, "{history:?}");
+        assert!(history.total_scrubbed_grads() > 0);
+        // But the run survives with finite numbers end to end.
+        assert!(history.final_train_loss().is_finite(), "{history:?}");
+        assert!(history.final_top1().is_finite());
+        // The model itself is still finite and usable.
+        let mut all_finite = true;
+        model.visit_params(&mut |p| {
+            all_finite &= p.value.as_slice().iter().all(|v| v.is_finite());
+        });
+        assert!(all_finite, "weights must stay finite under the policy");
+    }
+
+    #[test]
+    fn lr_backoff_is_visible_after_rollback() {
+        let mut train = two_blob_batches(2, 3);
+        train[0].0.as_mut_slice()[0] = f32::INFINITY;
+        let mut model = tiny_model(2);
+        let mut opt = Adam::new(1e-2);
+        let cfg = RetrainConfig {
+            epochs: 3,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 10,
+            resilience: Some(crate::ResiliencePolicy::default()),
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
+        assert_eq!(history.epochs[0].lr, 1e-2);
+        assert!(history.epochs[0].rollbacks > 0);
+        assert!(history.epochs[1].lr < 1e-2, "lr must back off after rollback");
+    }
+
+    #[test]
+    fn policy_on_healthy_run_changes_nothing_and_records_zeros() {
+        let train = two_blob_batches(8, 3);
+        let cfg_plain = RetrainConfig {
+            epochs: 4,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 10,
+            resilience: None,
+        };
+        let cfg_guarded = RetrainConfig {
+            resilience: Some(crate::ResiliencePolicy {
+                max_grad_norm: None, // keep update numerics identical
+                ..crate::ResiliencePolicy::default()
+            }),
+            ..cfg_plain.clone()
+        };
+        let mut m1 = tiny_model(1);
+        let mut o1 = Adam::new(1e-2);
+        let h1 = retrain(&mut m1, &mut o1, &cfg_plain, &train, &[]);
+        let mut m2 = tiny_model(1);
+        let mut o2 = Adam::new(1e-2);
+        let h2 = retrain(&mut m2, &mut o2, &cfg_guarded, &train, &[]);
+        assert_eq!(h2.total_rollbacks(), 0);
+        assert_eq!(h2.total_scrubbed_grads(), 0);
+        for (a, b) in h1.epochs.iter().zip(&h2.epochs) {
+            assert_eq!(a.train_loss, b.train_loss, "healthy runs must match");
+            assert_eq!(a.lr, b.lr);
+        }
     }
 
     #[test]

@@ -1,90 +1,128 @@
-//! Property-based tests for quantization and gradient approximation.
+//! Randomized property tests for quantization and gradient approximation.
+//!
+//! Deterministic cases drawn from the in-tree `appmult-rng` stream
+//! (proptest is unavailable in the offline build environment).
 
 use appmult_mult::{ExactMultiplier, Multiplier, TruncatedMultiplier};
 use appmult_retrain::{smooth_row, GradientLut, GradientMode, QuantParams};
-use proptest::prelude::*;
+use appmult_rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Quantization round trip stays within half a step inside the range.
-    #[test]
-    fn fake_quant_error_bounded(lo in -4.0f32..0.0, width in 0.1f32..8.0, t in 0.0f32..1.0) {
+/// Quantization round trip stays within half a step inside the range.
+#[test]
+fn fake_quant_error_bounded() {
+    let mut rng = Rng64::seed_from_u64(0xD1);
+    for _ in 0..64 {
+        let lo = rng.uniform_f32(-4.0, 0.0);
+        let width = rng.uniform_f32(0.1, 8.0);
+        let t = rng.next_f32();
         let hi = lo + width;
         let q = QuantParams::from_range(lo, hi, 8);
         let v = lo + t * width;
         let r = q.fake_quantize(v);
-        prop_assert!((r - v).abs() <= q.scale * 0.5 + 1e-6, "{v} -> {r} (scale {})", q.scale);
+        assert!(
+            (r - v).abs() <= q.scale * 0.5 + 1e-6,
+            "{v} -> {r} (scale {})",
+            q.scale
+        );
     }
+}
 
-    /// Quantized codes always fit the bit width and dequantize finitely.
-    #[test]
-    fn codes_fit_bitwidth(v in -100.0f32..100.0, bits in 2u32..9) {
+/// Quantized codes always fit the bit width and dequantize finitely.
+#[test]
+fn codes_fit_bitwidth() {
+    let mut rng = Rng64::seed_from_u64(0xD2);
+    for _ in 0..64 {
+        let v = rng.uniform_f32(-100.0, 100.0);
+        let bits = 2 + rng.below(7) as u32;
         let q = QuantParams::from_range(-1.0, 1.0, bits);
         let code = q.quantize(v);
-        prop_assert!(code <= q.qmax());
-        prop_assert!(q.dequantize(code).is_finite());
+        assert!(code <= q.qmax());
+        assert!(q.dequantize(code).is_finite());
     }
+}
 
-    /// Zero always round-trips exactly (required so zero padding is
-    /// preserved by the quantized convolution).
-    #[test]
-    fn zero_is_exact(lo in -5.0f32..0.0, hi in 0.0f32..5.0, bits in 2u32..9) {
+/// Zero always round-trips exactly (required so zero padding is
+/// preserved by the quantized convolution).
+#[test]
+fn zero_is_exact() {
+    let mut rng = Rng64::seed_from_u64(0xD3);
+    for _ in 0..64 {
+        let lo = rng.uniform_f32(-5.0, 0.0);
+        let hi = rng.uniform_f32(0.0, 5.0);
+        let bits = 2 + rng.below(7) as u32;
         let q = QuantParams::from_range(lo, hi, bits);
-        prop_assert_eq!(q.fake_quantize(0.0), 0.0);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
     }
+}
 
-    /// Smoothing preserves the mean where both are defined on a constant
-    /// extension, and always stays within the row's min/max envelope.
-    #[test]
-    fn smoothing_stays_in_envelope(seed in 0u32..1000, hws in 1u32..8) {
+/// Smoothing always stays within the row's min/max envelope.
+#[test]
+fn smoothing_stays_in_envelope() {
+    let mut rng = Rng64::seed_from_u64(0xD4);
+    for _ in 0..64 {
+        let seed = rng.below(1000) as u32;
+        let hws = 1 + rng.below(7) as u32;
         let row: Vec<u32> = (0..64u32).map(|x| (x.wrapping_mul(seed) >> 3) % 997).collect();
         let lo = *row.iter().min().expect("nonempty") as f64;
         let hi = *row.iter().max().expect("nonempty") as f64;
         for s in smooth_row(&row, hws).into_iter().flatten() {
-            prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9);
+            assert!(s >= lo - 1e-9 && s <= hi + 1e-9);
         }
     }
+}
 
-    /// For the exact multiplier, the difference-based interior gradient
-    /// equals the STE gradient (sanity: the method generalizes STE).
-    #[test]
-    fn diff_gradient_of_exact_equals_ste(w in 0u32..64, x in 5u32..58) {
-        let lut = ExactMultiplier::new(6).to_lut();
-        let ours = GradientLut::build(&lut, GradientMode::difference_based(4));
-        let ste = GradientLut::build(&lut, GradientMode::Ste);
-        prop_assert!((ours.wrt_x(w, x) - ste.wrt_x(w, x)).abs() < 1e-3);
+/// For the exact multiplier, the difference-based interior gradient
+/// equals the STE gradient (sanity: the method generalizes STE).
+#[test]
+fn diff_gradient_of_exact_equals_ste() {
+    let lut = ExactMultiplier::new(6).to_lut();
+    let ours = GradientLut::build(&lut, GradientMode::difference_based(4));
+    let ste = GradientLut::build(&lut, GradientMode::Ste);
+    let mut rng = Rng64::seed_from_u64(0xD5);
+    for _ in 0..64 {
+        let w = rng.below(64) as u32;
+        let x = 5 + rng.below(53) as u32;
+        assert!((ours.wrt_x(w, x) - ste.wrt_x(w, x)).abs() < 1e-3);
         if (5..58).contains(&w) {
-            prop_assert!((ours.wrt_w(w, x) - ste.wrt_w(w, x)).abs() < 1e-3);
+            assert!((ours.wrt_w(w, x) - ste.wrt_w(w, x)).abs() < 1e-3);
         }
     }
+}
 
-    /// Difference-based gradients are bounded by the largest local change
-    /// of the (smoothed) function — never the wild spikes of the raw rows.
-    #[test]
-    fn gradients_are_finite_and_bounded(k in 1u32..10, hws in 1u32..16) {
+/// Difference-based gradients are bounded by the largest local change
+/// of the (smoothed) function — never the wild spikes of the raw rows.
+#[test]
+fn gradients_are_finite_and_bounded() {
+    let mut rng = Rng64::seed_from_u64(0xD6);
+    for _ in 0..12 {
+        let k = 1 + rng.below(9) as u32;
+        let hws = 1 + rng.below(15) as u32;
         let lut = TruncatedMultiplier::new(6, k).to_lut();
         let g = GradientLut::build(&lut, GradientMode::difference_based(hws));
         let bound = (63.0f32 * 63.0) / 2.0; // half the max product per unit X
         for w in 0..64 {
             for x in 0..64 {
                 let v = g.wrt_x(w, x);
-                prop_assert!(v.is_finite() && v.abs() <= bound, "({w},{x}) = {v}");
+                assert!(v.is_finite() && v.abs() <= bound, "({w},{x}) = {v}");
             }
         }
     }
+}
 
-    /// Gradients of a truncated multiplier are non-negative (the function
-    /// is monotone non-decreasing in each operand).
-    #[test]
-    fn truncated_gradients_nonnegative(k in 1u32..10, hws_pow in 0u32..5) {
-        let hws = 1u32 << hws_pow;
+/// Gradients of a truncated multiplier are non-negative (the function
+/// is monotone non-decreasing in each operand).
+#[test]
+fn truncated_gradients_nonnegative() {
+    let mut rng = Rng64::seed_from_u64(0xD7);
+    for _ in 0..12 {
+        let k = 1 + rng.below(9) as u32;
+        let hws = 1u32 << rng.below(5);
         let lut = TruncatedMultiplier::new(6, k).to_lut();
         let g = GradientLut::build(&lut, GradientMode::difference_based(hws));
         for w in 0..64 {
             for x in 0..64 {
-                prop_assert!(g.wrt_x(w, x) >= 0.0);
-                prop_assert!(g.wrt_w(w, x) >= 0.0);
+                assert!(g.wrt_x(w, x) >= 0.0);
+                assert!(g.wrt_w(w, x) >= 0.0);
             }
         }
     }

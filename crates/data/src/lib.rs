@@ -28,8 +28,7 @@
 #![warn(missing_docs)]
 
 use appmult_nn::Tensor;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use appmult_rng::Rng64;
 
 /// Configuration of a synthetic dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,12 +120,12 @@ impl SyntheticDataset {
                 && config.hw.1 > 0,
             "all dataset dimensions must be positive"
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut rng = Rng64::seed_from_u64(config.seed);
         let prototypes: Vec<Vec<f32>> = (0..config.classes)
             .map(|_| prototype(config, &mut rng))
             .collect();
 
-        let gen_split = |per_class: usize, rng: &mut ChaCha8Rng| {
+        let gen_split = |per_class: usize, rng: &mut Rng64| {
             let n = config.classes * per_class;
             let px = config.channels * config.hw.0 * config.hw.1;
             let mut images = Vec::with_capacity(n * px);
@@ -233,12 +232,12 @@ fn gcd(a: usize, b: usize) -> usize {
 
 /// Smooth class prototype: low-resolution random grid, bilinearly
 /// upsampled, unit amplitude.
-fn prototype(config: &DatasetConfig, rng: &mut ChaCha8Rng) -> Vec<f32> {
+fn prototype(config: &DatasetConfig, rng: &mut Rng64) -> Vec<f32> {
     let (h, w) = config.hw;
     let grid = 4usize;
     let mut out = Vec::with_capacity(config.channels * h * w);
     for _ in 0..config.channels {
-        let coarse: Vec<f32> = (0..grid * grid).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let coarse: Vec<f32> = (0..grid * grid).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
         for y in 0..h {
             for x in 0..w {
                 let gy = y as f32 * (grid - 1) as f32 / (h.max(2) - 1) as f32;
@@ -258,29 +257,23 @@ fn prototype(config: &DatasetConfig, rng: &mut ChaCha8Rng) -> Vec<f32> {
 }
 
 /// One sample: shifted prototype + gain jitter + Gaussian noise.
-fn sample(config: &DatasetConfig, proto: &[f32], rng: &mut ChaCha8Rng, out: &mut Vec<f32>) {
+fn sample(config: &DatasetConfig, proto: &[f32], rng: &mut Rng64, out: &mut Vec<f32>) {
     let (h, w) = config.hw;
     let ms = config.max_shift as isize;
-    let dy = rng.gen_range(-ms..=ms);
-    let dx = rng.gen_range(-ms..=ms);
-    let gain = rng.gen_range(0.8..1.2f32);
+    let dy = rng.range_i64(-(ms as i64), ms as i64) as isize;
+    let dx = rng.range_i64(-(ms as i64), ms as i64) as isize;
+    let gain = rng.uniform_f32(0.8, 1.2);
     for c in 0..config.channels {
         let base = c * h * w;
         for y in 0..h {
             for x in 0..w {
                 let sy = (y as isize + dy).rem_euclid(h as isize) as usize;
                 let sx = (x as isize + dx).rem_euclid(w as isize) as usize;
-                let noise = gaussian(rng) * config.noise;
+                let noise = rng.normal_f32() * config.noise;
                 out.push(proto[base + sy * w + sx] * gain + noise);
             }
         }
     }
-}
-
-fn gaussian(rng: &mut ChaCha8Rng) -> f32 {
-    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -336,8 +329,9 @@ mod tests {
         let mut protos = vec![vec![0.0f32; px]; 6];
         let mut counts = vec![0usize; 6];
         for (i, &lab) in data.train_labels.iter().enumerate() {
-            for k in 0..px {
-                protos[lab][k] += data.train_images[i * px + k];
+            let img = &data.train_images[i * px..(i + 1) * px];
+            for (pv, &im) in protos[lab].iter_mut().zip(img) {
+                *pv += im;
             }
             counts[lab] += 1;
         }

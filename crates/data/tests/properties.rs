@@ -1,65 +1,78 @@
-//! Property-based tests for the synthetic dataset generator.
+//! Randomized property tests for the synthetic dataset generator.
+//!
+//! Deterministic cases drawn from the in-tree `appmult-rng` stream
+//! (proptest is unavailable in the offline build environment).
 
 use appmult_data::{DatasetConfig, SyntheticDataset};
-use proptest::prelude::*;
+use appmult_rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Generation is deterministic per seed and sensitive to it.
-    #[test]
-    fn deterministic_per_seed(seed in 0u64..1000) {
+/// Generation is deterministic per seed and sensitive to it.
+#[test]
+fn deterministic_per_seed() {
+    let mut rng = Rng64::seed_from_u64(0xE1);
+    for _ in 0..6 {
+        let seed = rng.below(1000);
         let mut cfg = DatasetConfig::tiny();
         cfg.seed = seed;
         let a = SyntheticDataset::generate(&cfg);
         let b = SyntheticDataset::generate(&cfg);
         let (ba, bb) = (a.train_batches(4), b.train_batches(4));
-        prop_assert_eq!(ba.len(), bb.len());
+        assert_eq!(ba.len(), bb.len());
         for ((ta, la), (tb, lb)) in ba.iter().zip(&bb) {
-            prop_assert_eq!(ta, tb);
-            prop_assert_eq!(la, lb);
+            assert_eq!(ta, tb);
+            assert_eq!(la, lb);
         }
     }
+}
 
-    /// Every label is a valid class index and all classes are represented
-    /// across the training split.
-    #[test]
-    fn labels_are_valid_and_complete(classes in 2usize..8, per_class in 2usize..6) {
+/// Every label is a valid class index and all classes are represented
+/// across the training split.
+#[test]
+fn labels_are_valid_and_complete() {
+    let mut rng = Rng64::seed_from_u64(0xE2);
+    for _ in 0..6 {
+        let classes = 2 + rng.index(6);
+        let per_class = 2 + rng.index(4);
         let cfg = DatasetConfig::small(classes, per_class, 1);
         let data = SyntheticDataset::generate(&cfg);
         let batches = data.train_batches(classes * per_class);
         let mut seen = vec![false; classes];
         for (_, labels) in &batches {
             for &l in labels {
-                prop_assert!(l < classes);
+                assert!(l < classes);
                 seen[l] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "all classes in the train split");
+        assert!(seen.iter().all(|&s| s), "all classes in the train split");
     }
+}
 
-    /// Batch tensors always match their label counts and config shape.
-    #[test]
-    fn batch_shapes_are_consistent(batch in 1usize..17) {
-        let data = SyntheticDataset::generate(&DatasetConfig::tiny());
+/// Batch tensors always match their label counts and config shape.
+#[test]
+fn batch_shapes_are_consistent() {
+    let data = SyntheticDataset::generate(&DatasetConfig::tiny());
+    for batch in 1usize..17 {
         for (images, labels) in data.train_batches(batch) {
             let s = images.shape().to_vec();
-            prop_assert_eq!(s[0], labels.len());
-            prop_assert_eq!(&s[1..], &[3usize, 16, 16]);
+            assert_eq!(s[0], labels.len());
+            assert_eq!(&s[1..], &[3usize, 16, 16]);
         }
     }
+}
 
-    /// Pixel values stay within a sane numeric envelope (prototype
-    /// amplitude 1, gain <= 1.2, noise sigma bounded).
-    #[test]
-    fn pixels_are_bounded(seed in 0u64..50) {
+/// Pixel values stay within a sane numeric envelope (prototype
+/// amplitude 1, gain <= 1.2, noise sigma bounded).
+#[test]
+fn pixels_are_bounded() {
+    let mut rng = Rng64::seed_from_u64(0xE3);
+    for _ in 0..8 {
         let mut cfg = DatasetConfig::tiny();
-        cfg.seed = seed;
+        cfg.seed = rng.below(50);
         let data = SyntheticDataset::generate(&cfg);
         for (images, _) in data.train_batches(8) {
             let (lo, hi) = images.min_max();
-            prop_assert!(lo > -10.0 && hi < 10.0, "range {lo}..{hi}");
-            prop_assert!(images.as_slice().iter().all(|v| v.is_finite()));
+            assert!(lo > -10.0 && hi < 10.0, "range {lo}..{hi}");
+            assert!(images.as_slice().iter().all(|v| v.is_finite()));
         }
     }
 }

@@ -51,7 +51,7 @@ impl CompressorMultiplier {
     pub fn new(bits: u32, approx_columns: u32) -> Self {
         assert_bits(bits);
         assert!(bits <= 8, "structural designs capped at 8 bits");
-        assert!(approx_columns <= 2 * bits - 1, "column threshold out of range");
+        assert!(approx_columns < 2 * bits, "column threshold out of range");
         Self {
             bits,
             approx_columns,

@@ -169,9 +169,9 @@ impl SegmentedMultiplier {
 
         // Exact m x m product of the segments.
         let mut dots = DotColumns::new(2 * m as usize);
-        for i in 0..m as usize {
-            for j in 0..m as usize {
-                let pp = nl.and(seg_w[i], seg_x[j]);
+        for (i, &sw) in seg_w.iter().enumerate().take(m as usize) {
+            for (j, &sx) in seg_x.iter().enumerate().take(m as usize) {
+                let pp = nl.and(sw, sx);
                 dots.push(i + j, pp);
             }
         }

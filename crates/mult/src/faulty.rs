@@ -1,0 +1,233 @@
+//! Defective-hardware multiplier models.
+//!
+//! [`FaultyMultiplier`] represents an approximate multiplier *after* a
+//! hardware defect: either gate-level faults injected into a
+//! [`MultiplierCircuit`] netlist (stuck-at / output-invert, see
+//! [`appmult_circuit::FaultSpec`]), or random bit flips in a table-backed
+//! design's product LUT (modelling defective ROM/SRAM cells in a LUT-based
+//! accelerator). Both construction paths produce an ordinary [`Multiplier`]
+//! so the full retraining flow — gradient LUTs, approximate convolutions,
+//! hand-wavy sweeps — runs unchanged on the broken hardware.
+
+use std::fmt;
+
+use appmult_circuit::{FaultSpec, MultiplierCircuit, NetlistError};
+use appmult_rng::Rng64;
+
+use crate::multiplier::{Multiplier, MultiplierLut};
+
+/// A multiplier whose behaviour reflects permanent hardware defects.
+///
+/// # Example
+///
+/// ```
+/// use appmult_circuit::{fault_sites, FaultSpec, MultiplierCircuit};
+/// use appmult_mult::{FaultyMultiplier, Multiplier};
+///
+/// let circuit = MultiplierCircuit::array(4);
+/// let site = fault_sites(circuit.netlist())[10];
+/// let faulty = FaultyMultiplier::from_circuit(
+///     "mul4u_array",
+///     &circuit,
+///     &[FaultSpec::stuck_at_1(site)],
+/// )
+/// .unwrap();
+/// assert_eq!(faulty.bits(), 4);
+/// assert_eq!(faulty.fault_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyMultiplier {
+    lut: MultiplierLut,
+    fault_count: usize,
+}
+
+impl FaultyMultiplier {
+    /// Extracts the behaviour of `circuit` with `faults` injected into its
+    /// netlist. The circuit itself is not mutated; zero faults reproduce
+    /// the fault-free design exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if a fault site does not
+    /// belong to the circuit's netlist.
+    pub fn from_circuit(
+        base_name: &str,
+        circuit: &MultiplierCircuit,
+        faults: &[FaultSpec],
+    ) -> Result<Self, NetlistError> {
+        let bits = circuit.bits();
+        let products: Vec<u32> = circuit
+            .exhaustive_products_faulted(faults)?
+            .into_iter()
+            .map(|p| p as u32)
+            .collect();
+        let name = format!("{base_name}_fault{}", faults.len());
+        Ok(Self {
+            lut: MultiplierLut::from_entries(name, bits, products),
+            fault_count: faults.len(),
+        })
+    }
+
+    /// Corrupts a table-backed design by flipping `bit_flips` distinct
+    /// (entry, bit) positions of its product LUT, chosen by `seed`. This
+    /// models defective memory cells in a LUT-based accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_flips` exceeds the total number of stored bits
+    /// (`2^(2B) * 2B`).
+    pub fn corrupt_lut(lut: &MultiplierLut, bit_flips: usize, seed: u64) -> Self {
+        let bits = lut.bits();
+        let out_bits = 2 * bits as usize;
+        let mut products: Vec<u32> = lut.entries().to_vec();
+        let total_bits = products.len() * out_bits;
+        assert!(
+            bit_flips <= total_bits,
+            "cannot flip {bit_flips} of {total_bits} stored bits"
+        );
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut flipped = std::collections::HashSet::new();
+        while flipped.len() < bit_flips {
+            let pos = rng.index(total_bits);
+            if flipped.insert(pos) {
+                products[pos / out_bits] ^= 1 << (pos % out_bits);
+            }
+        }
+        let name = format!("{}_flip{bit_flips}_s{seed}", lut.name());
+        Self {
+            lut: MultiplierLut::from_entries(name, bits, products),
+            fault_count: bit_flips,
+        }
+    }
+
+    /// Number of injected defects (gate faults or flipped LUT bits).
+    pub fn fault_count(&self) -> usize {
+        self.fault_count
+    }
+
+    /// Consumes the wrapper, returning the defective product table.
+    pub fn into_lut(self) -> MultiplierLut {
+        self.lut
+    }
+
+    /// Number of operand pairs whose product differs from `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths differ.
+    pub fn corrupted_entries(&self, reference: &MultiplierLut) -> usize {
+        assert_eq!(self.lut.bits(), reference.bits(), "bit widths must match");
+        self.lut
+            .entries()
+            .iter()
+            .zip(reference.entries())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl Multiplier for FaultyMultiplier {
+    fn bits(&self) -> u32 {
+        self.lut.bits()
+    }
+    fn name(&self) -> String {
+        self.lut.name().to_string()
+    }
+    fn multiply(&self, w: u32, x: u32) -> u32 {
+        self.lut.product(w, x)
+    }
+}
+
+impl fmt::Display for FaultyMultiplier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} defects)", self.lut.name(), self.fault_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::ExactMultiplier;
+    use appmult_circuit::fault_sites;
+
+    #[test]
+    fn zero_faults_match_clean_circuit() {
+        let circuit = MultiplierCircuit::array(4);
+        let faulty = FaultyMultiplier::from_circuit("mul4u", &circuit, &[]).unwrap();
+        for w in 0..16 {
+            for x in 0..16 {
+                assert_eq!(faulty.multiply(w, x), w * x);
+            }
+        }
+        assert_eq!(faulty.fault_count(), 0);
+        assert_eq!(faulty.name(), "mul4u_fault0");
+    }
+
+    #[test]
+    fn circuit_fault_changes_behaviour() {
+        let circuit = MultiplierCircuit::array(4);
+        let clean = ExactMultiplier::new(4).to_lut();
+        let sites = fault_sites(circuit.netlist());
+        let mut any_corrupt = 0usize;
+        for &site in sites.iter().step_by(9) {
+            let faulty =
+                FaultyMultiplier::from_circuit("mul4u", &circuit, &[FaultSpec::stuck_at_1(site)])
+                    .unwrap();
+            any_corrupt += faulty.corrupted_entries(&clean);
+        }
+        assert!(any_corrupt > 0, "stuck-at-1 somewhere must corrupt products");
+    }
+
+    #[test]
+    fn invalid_site_is_an_error() {
+        let circuit = MultiplierCircuit::array(4);
+        let bogus = appmult_circuit::Signal::from_index(100_000);
+        assert!(
+            FaultyMultiplier::from_circuit("m", &circuit, &[FaultSpec::stuck_at_0(bogus)])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn lut_corruption_flips_exactly_n_bits() {
+        let lut = ExactMultiplier::new(5).to_lut();
+        for flips in [0usize, 1, 7, 32] {
+            let faulty = FaultyMultiplier::corrupt_lut(&lut, flips, 0x5EED);
+            let changed_bits: u32 = faulty
+                .clone()
+                .into_lut()
+                .entries()
+                .iter()
+                .zip(lut.entries())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(changed_bits as usize, flips);
+        }
+    }
+
+    #[test]
+    fn lut_corruption_is_deterministic_per_seed() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let a = FaultyMultiplier::corrupt_lut(&lut, 5, 7).into_lut();
+        let b = FaultyMultiplier::corrupt_lut(&lut, 5, 7).into_lut();
+        let c = FaultyMultiplier::corrupt_lut(&lut, 5, 8).into_lut();
+        assert_eq!(a.entries(), b.entries());
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    fn corrupted_products_still_fit_output_bus() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let faulty = FaultyMultiplier::corrupt_lut(&lut, 40, 99);
+        for &p in faulty.into_lut().entries() {
+            assert!(p < 256);
+        }
+    }
+
+    #[test]
+    fn display_mentions_defects() {
+        let lut = ExactMultiplier::new(3).to_lut();
+        let faulty = FaultyMultiplier::corrupt_lut(&lut, 2, 1);
+        assert!(format!("{faulty}").contains("2 defects"));
+    }
+}

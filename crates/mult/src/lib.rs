@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod designs;
+mod faulty;
 mod metrics;
 mod multiplier;
 mod signed;
@@ -38,6 +39,7 @@ pub use designs::{
     ExactMultiplier, LowerOrMultiplier, MitchellMultiplier, Recursive2x2Multiplier,
     SegmentedMultiplier, SynthesizedMultiplier, TruncatedMultiplier,
 };
+pub use faulty::FaultyMultiplier;
 pub use metrics::ErrorMetrics;
 pub use multiplier::{Multiplier, MultiplierLut};
 pub use signed::SignMagnitudeMultiplier;

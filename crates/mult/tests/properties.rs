@@ -1,110 +1,130 @@
-//! Property-based tests for the approximate multiplier library.
+//! Randomized property tests for the approximate multiplier library.
+//!
+//! Deterministic cases drawn from the in-tree `appmult-rng` stream
+//! (proptest is unavailable in the offline build environment).
 
 use appmult_mult::{
     CompensatedTruncatedMultiplier, ErrorMetrics, ExactMultiplier, LowerOrMultiplier,
     MitchellMultiplier, Multiplier, MultiplierLut, Recursive2x2Multiplier, SegmentedMultiplier,
     TruncatedMultiplier,
 };
-use proptest::prelude::*;
+use appmult_rng::Rng64;
 
-fn operand(bits: u32) -> impl Strategy<Value = u32> {
-    0u32..(1 << bits)
+fn operand(rng: &mut Rng64, bits: u32) -> u32 {
+    rng.below(1 << bits) as u32
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every design produces products that fit the 2B-bit output bus.
-    #[test]
-    fn products_fit_output_bus(w in operand(8), x in operand(8)) {
-        let designs: Vec<Box<dyn Multiplier>> = vec![
-            Box::new(ExactMultiplier::new(8)),
-            Box::new(TruncatedMultiplier::new(8, 8)),
-            Box::new(CompensatedTruncatedMultiplier::with_mean_compensation(8, 8)),
-            Box::new(LowerOrMultiplier::new(8, 9)),
-            Box::new(SegmentedMultiplier::new(8, 4)),
-            Box::new(Recursive2x2Multiplier::new(8, 5)),
-            Box::new(MitchellMultiplier::new(8)),
-        ];
+/// Every design produces products that fit the 2B-bit output bus.
+#[test]
+fn products_fit_output_bus() {
+    let designs: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(ExactMultiplier::new(8)),
+        Box::new(TruncatedMultiplier::new(8, 8)),
+        Box::new(CompensatedTruncatedMultiplier::with_mean_compensation(8, 8)),
+        Box::new(LowerOrMultiplier::new(8, 9)),
+        Box::new(SegmentedMultiplier::new(8, 4)),
+        Box::new(Recursive2x2Multiplier::new(8, 5)),
+        Box::new(MitchellMultiplier::new(8)),
+    ];
+    let mut rng = Rng64::seed_from_u64(0xB1);
+    for _ in 0..64 {
+        let (w, x) = (operand(&mut rng, 8), operand(&mut rng, 8));
         for d in &designs {
             let y = d.multiply(w, x);
-            prop_assert!((y as u64) < (1u64 << 16), "{}: {w}*{x} = {y}", d.name());
+            assert!((y as u64) < (1u64 << 16), "{}: {w}*{x} = {y}", d.name());
         }
-    }
-
-    /// Zero annihilates for every design (an AppMult that maps 0 -> nonzero
-    /// would corrupt padded regions of convolutions).
-    #[test]
-    fn zero_annihilates(v in operand(8)) {
-        let designs: Vec<Box<dyn Multiplier>> = vec![
-            Box::new(TruncatedMultiplier::new(8, 8)),
-            Box::new(CompensatedTruncatedMultiplier::with_mean_compensation(8, 8)),
-            Box::new(LowerOrMultiplier::new(8, 9)),
-            Box::new(SegmentedMultiplier::new(8, 4)),
-            Box::new(Recursive2x2Multiplier::new(8, 5)),
-            Box::new(MitchellMultiplier::new(8)),
-        ];
-        for d in &designs {
-            prop_assert_eq!(d.multiply(0, v), 0, "{} 0*{}", d.name(), v);
-            prop_assert_eq!(d.multiply(v, 0), 0, "{} {}*0", d.name(), v);
-        }
-    }
-
-    /// Designs built from symmetric rules commute.
-    #[test]
-    fn symmetric_designs_commute(w in operand(7), x in operand(7)) {
-        let designs: Vec<Box<dyn Multiplier>> = vec![
-            Box::new(ExactMultiplier::new(7)),
-            Box::new(SegmentedMultiplier::new(7, 4)),
-            Box::new(MitchellMultiplier::new(7)),
-            Box::new(Recursive2x2Multiplier::new(7, 4)),
-        ];
-        for d in &designs {
-            prop_assert_eq!(d.multiply(w, x), d.multiply(x, w), "{}", d.name());
-        }
-    }
-
-    /// Truncation error is monotone in the number of removed columns.
-    #[test]
-    fn deeper_truncation_never_increases_product(w in operand(7), x in operand(7), k in 1u32..6) {
-        let shallow = TruncatedMultiplier::new(7, k);
-        let deep = TruncatedMultiplier::new(7, k + 1);
-        prop_assert!(deep.multiply(w, x) <= shallow.multiply(w, x));
-    }
-
-    /// LUT round-trip: `to_lut` then `product` reproduces `multiply`.
-    #[test]
-    fn lut_round_trip(w in operand(6), x in operand(6)) {
-        let m = LowerOrMultiplier::new(6, 5);
-        let lut = m.to_lut();
-        prop_assert_eq!(lut.product(w, x), m.multiply(w, x));
-        // And the LUT is itself a Multiplier with the same behaviour.
-        prop_assert_eq!(lut.multiply(w, x), m.multiply(w, x));
-    }
-
-    /// Transposition is an involution.
-    #[test]
-    fn transpose_involution(k in 1u32..6) {
-        let lut = TruncatedMultiplier::new(6, k).to_lut();
-        let round_trip = lut.transposed().transposed();
-        prop_assert_eq!(round_trip.entries(), lut.entries());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Zero annihilates for every design (an AppMult that maps 0 -> nonzero
+/// would corrupt padded regions of convolutions).
+#[test]
+fn zero_annihilates() {
+    let designs: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(TruncatedMultiplier::new(8, 8)),
+        Box::new(CompensatedTruncatedMultiplier::with_mean_compensation(8, 8)),
+        Box::new(LowerOrMultiplier::new(8, 9)),
+        Box::new(SegmentedMultiplier::new(8, 4)),
+        Box::new(Recursive2x2Multiplier::new(8, 5)),
+        Box::new(MitchellMultiplier::new(8)),
+    ];
+    let mut rng = Rng64::seed_from_u64(0xB2);
+    for _ in 0..64 {
+        let v = operand(&mut rng, 8);
+        for d in &designs {
+            assert_eq!(d.multiply(0, v), 0, "{} 0*{}", d.name(), v);
+            assert_eq!(d.multiply(v, 0), 0, "{} {}*0", d.name(), v);
+        }
+    }
+}
 
-    /// NMED is always within [0, 1] and zero iff the LUT is exact.
-    #[test]
-    fn nmed_is_normalized(k in 0u32..10) {
+/// Designs built from symmetric rules commute.
+#[test]
+fn symmetric_designs_commute() {
+    let designs: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(ExactMultiplier::new(7)),
+        Box::new(SegmentedMultiplier::new(7, 4)),
+        Box::new(MitchellMultiplier::new(7)),
+        Box::new(Recursive2x2Multiplier::new(7, 4)),
+    ];
+    let mut rng = Rng64::seed_from_u64(0xB3);
+    for _ in 0..64 {
+        let (w, x) = (operand(&mut rng, 7), operand(&mut rng, 7));
+        for d in &designs {
+            assert_eq!(d.multiply(w, x), d.multiply(x, w), "{}", d.name());
+        }
+    }
+}
+
+/// Truncation error is monotone in the number of removed columns.
+#[test]
+fn deeper_truncation_never_increases_product() {
+    let mut rng = Rng64::seed_from_u64(0xB4);
+    for _ in 0..64 {
+        let (w, x) = (operand(&mut rng, 7), operand(&mut rng, 7));
+        let k = 1 + rng.below(5) as u32;
+        let shallow = TruncatedMultiplier::new(7, k);
+        let deep = TruncatedMultiplier::new(7, k + 1);
+        assert!(deep.multiply(w, x) <= shallow.multiply(w, x));
+    }
+}
+
+/// LUT round-trip: `to_lut` then `product` reproduces `multiply`.
+#[test]
+fn lut_round_trip() {
+    let m = LowerOrMultiplier::new(6, 5);
+    let lut = m.to_lut();
+    let mut rng = Rng64::seed_from_u64(0xB5);
+    for _ in 0..64 {
+        let (w, x) = (operand(&mut rng, 6), operand(&mut rng, 6));
+        assert_eq!(lut.product(w, x), m.multiply(w, x));
+        // And the LUT is itself a Multiplier with the same behaviour.
+        assert_eq!(lut.multiply(w, x), m.multiply(w, x));
+    }
+}
+
+/// Transposition is an involution.
+#[test]
+fn transpose_involution() {
+    for k in 1u32..6 {
+        let lut = TruncatedMultiplier::new(6, k).to_lut();
+        let round_trip = lut.transposed().transposed();
+        assert_eq!(round_trip.entries(), lut.entries());
+    }
+}
+
+/// NMED is always within [0, 1] and zero iff the LUT is exact.
+#[test]
+fn nmed_is_normalized() {
+    for k in 0u32..10 {
         let lut: MultiplierLut = if k == 0 {
             ExactMultiplier::new(6).to_lut()
         } else {
             TruncatedMultiplier::new(6, k).to_lut()
         };
         let m = ErrorMetrics::exhaustive(&lut);
-        prop_assert!(m.nmed >= 0.0 && m.nmed <= 1.0);
-        prop_assert_eq!(m.nmed == 0.0, lut.is_exact());
-        prop_assert!(m.error_rate >= 0.0 && m.error_rate <= 1.0);
+        assert!(m.nmed >= 0.0 && m.nmed <= 1.0);
+        assert_eq!(m.nmed == 0.0, lut.is_exact());
+        assert!(m.error_rate >= 0.0 && m.error_rate <= 1.0);
     }
 }

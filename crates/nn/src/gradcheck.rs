@@ -8,8 +8,7 @@
 //! Only applicable to *deterministic* modules (no dropout): the module is
 //! re-run many times and must compute the same function each time.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use appmult_rng::Rng64;
 
 use crate::module::Module;
 use crate::tensor::Tensor;
@@ -52,10 +51,10 @@ fn rel_err(a: f64, b: f64) -> f64 {
 ///
 /// Panics if the module's forward pass panics.
 pub fn check_module(module: &mut dyn Module, input: &Tensor, seed: u64, eps: f32) -> GradCheckReport {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let out0 = module.forward(input, true);
     let coeffs = Tensor::from_vec(
-        (0..out0.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        (0..out0.len()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
         out0.shape(),
     );
 
@@ -104,9 +103,8 @@ pub fn check_module(module: &mut dyn Module, input: &Tensor, seed: u64, eps: f32
     }
 
     // Parameter coordinates: perturb via visit_params.
-    let num_params = param_grads.len();
-    for pi in 0..num_params {
-        let plen = param_grads[pi].len();
+    for (pi, pgrad) in param_grads.iter().enumerate() {
+        let plen = pgrad.len();
         for k in sample_indices(plen, 64, &mut rng) {
             let mut orig = 0.0f32;
             perturb(module, pi, k, eps, &mut orig);
@@ -117,7 +115,7 @@ pub fn check_module(module: &mut dyn Module, input: &Tensor, seed: u64, eps: f32
             let fd = (lp - lm) / (2.0 * f64::from(eps));
             note(
                 &mut report,
-                f64::from(param_grads[pi].as_slice()[k]),
+                f64::from(pgrad.as_slice()[k]),
                 fd,
                 format!("param[{pi}][{k}]"),
             );
@@ -126,11 +124,11 @@ pub fn check_module(module: &mut dyn Module, input: &Tensor, seed: u64, eps: f32
     report
 }
 
-fn sample_indices(len: usize, max: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+fn sample_indices(len: usize, max: usize, rng: &mut Rng64) -> Vec<usize> {
     if len <= max {
         (0..len).collect()
     } else {
-        (0..max).map(|_| rng.gen_range(0..len)).collect()
+        (0..max).map(|_| rng.index(len)).collect()
     }
 }
 

@@ -1,7 +1,6 @@
 //! Weight initialization.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use appmult_rng::Rng64;
 
 use crate::tensor::Tensor;
 
@@ -19,9 +18,9 @@ use crate::tensor::Tensor;
 pub fn kaiming_normal(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
     assert!(fan_in > 0, "fan_in must be positive");
     let std = (2.0 / fan_in as f64).sqrt();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let data = (0..shape.iter().product::<usize>())
-        .map(|_| (sample_standard_normal(&mut rng) * std) as f32)
+        .map(|_| (rng.normal_f64() * std) as f32)
         .collect();
     Tensor::from_vec(data, shape)
 }
@@ -31,18 +30,11 @@ pub fn kaiming_normal(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
 pub fn uniform_fan_in(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
     assert!(fan_in > 0, "fan_in must be positive");
     let bound = 1.0 / (fan_in as f64).sqrt();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let data = (0..shape.iter().product::<usize>())
-        .map(|_| rng.gen_range(-bound..bound) as f32)
+        .map(|_| rng.uniform_f64(-bound, bound) as f32)
         .collect();
     Tensor::from_vec(data, shape)
-}
-
-/// Box-Muller standard normal sample.
-fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

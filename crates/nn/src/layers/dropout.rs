@@ -1,7 +1,6 @@
 //! Inverted dropout.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use appmult_rng::Rng64;
 
 use crate::module::{Module, Parameter};
 use crate::tensor::Tensor;
@@ -23,7 +22,7 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
-    rng: ChaCha8Rng,
+    rng: Rng64,
     mask: Vec<f32>,
     shape: Vec<usize>,
 }
@@ -38,7 +37,7 @@ impl Dropout {
         assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
         Self {
             p,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             mask: vec![],
             shape: vec![],
         }
@@ -56,7 +55,7 @@ impl Module for Dropout {
         let scale = 1.0 / keep;
         self.mask = (0..input.len())
             .map(|_| {
-                if self.rng.gen::<f32>() < keep {
+                if self.rng.next_f32() < keep {
                     scale
                 } else {
                     0.0

@@ -162,9 +162,9 @@ impl Module for BatchNorm2d {
         if self.trained_forward {
             // Full batch-stat backward.
             for ni in 0..n {
-                for ci in 0..c {
+                for (ci, &gm) in gamma.iter().enumerate() {
                     let base = ((ni * c) + ci) * h * w;
-                    let k1 = gamma[ci] * self.inv_std[ci] / m;
+                    let k1 = gm * self.inv_std[ci] / m;
                     for k in base..base + h * w {
                         dx[k] = k1 * (m * g[k] - sum_g[ci] - xh[k] * sum_gx[ci]);
                     }
@@ -173,9 +173,9 @@ impl Module for BatchNorm2d {
         } else {
             // Eval mode: statistics are constants.
             for ni in 0..n {
-                for ci in 0..c {
+                for (ci, &gm) in gamma.iter().enumerate() {
                     let base = ((ni * c) + ci) * h * w;
-                    let k1 = gamma[ci] * self.inv_std[ci];
+                    let k1 = gm * self.inv_std[ci];
                     for k in base..base + h * w {
                         dx[k] = k1 * g[k];
                     }

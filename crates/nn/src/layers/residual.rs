@@ -93,10 +93,26 @@ mod tests {
 
     #[test]
     fn identity_shortcut_gradcheck() {
+        // Shrink weights and lift biases so every pre-activation — the inner
+        // ReLU's and the outer `relu(main(x) + x)` sum — stays well above
+        // zero (finite differences are invalid at kinks).
+        let condition = |layer: &mut Linear, bias: f32| {
+            layer.visit_params(&mut |p| {
+                if p.value.shape().len() == 1 {
+                    p.value.map_inplace(|_| bias);
+                } else {
+                    p.value.map_inplace(|v| v * 0.1);
+                }
+            });
+        };
+        let mut hidden = Linear::new(4, 4, 1);
+        condition(&mut hidden, 1.5);
+        let mut out = Linear::new(4, 4, 2);
+        condition(&mut out, 2.5);
         let main = Sequential::new()
-            .push(Linear::new(4, 4, 1))
+            .push(hidden)
             .push(Relu::new())
-            .push(Linear::new(4, 4, 2));
+            .push(out);
         let mut block = Residual::new(main);
         let x = Tensor::from_vec(
             (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect(),

@@ -61,8 +61,21 @@ pub fn load_params<R: Read>(module: &mut dyn Module, mut r: R) -> io::Result<()>
         ));
     }
     let count = read_u32(&mut r)? as usize;
+
+    // Validate against the module's own shapes as we parse, BEFORE any
+    // size-dependent allocation: a corrupted count or shape field must
+    // produce `InvalidData`, not an attempt to allocate gigabytes from
+    // untrusted input. Nothing is mutated until everything checks out.
+    let mut shapes = vec![];
+    module.visit_params(&mut |p| shapes.push(p.value.shape().to_vec()));
+    if shapes.len() != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} parameters, module has {}", shapes.len()),
+        ));
+    }
     let mut tensors = Vec::with_capacity(count);
-    for _ in 0..count {
+    for (i, expected) in shapes.iter().enumerate() {
         let rank = read_u32(&mut r)? as usize;
         if rank > 8 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "absurd rank"));
@@ -70,6 +83,12 @@ pub fn load_params<R: Read>(module: &mut dyn Module, mut r: R) -> io::Result<()>
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
             shape.push(read_u32(&mut r)? as usize);
+        }
+        if &shape != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter {i}: checkpoint {shape:?} vs module {expected:?}"),
+            ));
         }
         let len: usize = shape.iter().product();
         let mut data = vec![0f32; len];
@@ -79,28 +98,6 @@ pub fn load_params<R: Read>(module: &mut dyn Module, mut r: R) -> io::Result<()>
             *v = f32::from_le_bytes(b);
         }
         tensors.push(Tensor::from_vec(data, &shape));
-    }
-
-    // Validate against the module before mutating anything.
-    let mut shapes = vec![];
-    module.visit_params(&mut |p| shapes.push(p.value.shape().to_vec()));
-    if shapes.len() != tensors.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "checkpoint has {} parameters, module has {}",
-                tensors.len(),
-                shapes.len()
-            ),
-        ));
-    }
-    for (i, (s, t)) in shapes.iter().zip(&tensors).enumerate() {
-        if s != t.shape() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("parameter {i}: checkpoint {:?} vs module {s:?}", t.shape()),
-            ));
-        }
     }
     let mut it = tensors.into_iter();
     module.visit_params(&mut |p| {
@@ -174,6 +171,79 @@ mod tests {
         buf.truncate(buf.len() / 2);
         let mut dst = model(2);
         assert!(load_params(&mut dst, buf.as_slice()).is_err());
+    }
+
+    /// Randomized round-trip property: for a spread of architectures and
+    /// random parameter values (including negatives, zeros, and extremes),
+    /// save -> load into a differently-initialized clone restores every
+    /// parameter bit-for-bit.
+    #[test]
+    fn random_round_trip_property() {
+        let mut rng = appmult_rng::Rng64::seed_from_u64(0xF1_5E_ED);
+        for case in 0..20u64 {
+            let mut src = model(case);
+            src.visit_params(&mut |p| {
+                for v in p.value.as_mut_slice() {
+                    *v = match rng.index(10) {
+                        0 => 0.0,
+                        1 => f32::MAX,
+                        2 => f32::MIN_POSITIVE,
+                        _ => rng.normal_f32() * 100.0,
+                    };
+                }
+            });
+            let mut buf = Vec::new();
+            save_params(&mut src, &mut buf).expect("serialize");
+
+            let mut dst = model(case + 1000);
+            load_params(&mut dst, buf.as_slice()).expect("deserialize");
+            let mut va = vec![];
+            src.visit_params(&mut |p| va.push(p.value.clone()));
+            let mut vb = vec![];
+            dst.visit_params(&mut |p| vb.push(p.value.clone()));
+            assert_eq!(va, vb, "case {case}");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_header() {
+        let mut src = model(1);
+        let mut buf = Vec::new();
+        save_params(&mut src, &mut buf).expect("serialize");
+        // Corrupt each header byte in turn: magic (0..4) must be rejected
+        // outright; a corrupted parameter count (8..12) must either error
+        // or — never — load successfully with wrong data.
+        for pos in 0..4 {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0xFF;
+            let mut dst = model(2);
+            let err = load_params(&mut dst, bad.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {pos}");
+        }
+        for pos in 8..12 {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0xFF;
+            let mut dst = model(2);
+            assert!(
+                load_params(&mut dst, bad.as_slice()).is_err(),
+                "corrupted count byte {pos} must not load"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut src = model(1);
+        let mut buf = Vec::new();
+        save_params(&mut src, &mut buf).expect("serialize");
+        buf[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        let mut dst = model(2);
+        let err = load_params(&mut dst, buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("version"),
+            "error should name the version: {err}"
+        );
     }
 
     #[test]

@@ -1,99 +1,128 @@
-//! Property-based tests for the deep-learning substrate.
+//! Randomized property tests for the deep-learning substrate.
+//!
+//! Deterministic cases drawn from the in-tree `appmult-rng` stream
+//! (proptest is unavailable in the offline build environment).
 
 use appmult_nn::layers::{im2col, nchw_to_rows, rows_to_nchw, Conv2dSpec};
 use appmult_nn::loss::{softmax, softmax_cross_entropy};
 use appmult_nn::metrics::top_k_accuracy;
 use appmult_nn::Tensor;
-use proptest::prelude::*;
+use appmult_rng::Rng64;
 
-fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-2.0f32..2.0, len)
+fn random_data(rng: &mut Rng64, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform_f32(-2.0, 2.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Matmul distributes over addition: (A + B) C == AC + BC.
-    #[test]
-    fn matmul_distributes(a in tensor_strategy(6), b in tensor_strategy(6), c in tensor_strategy(8)) {
-        let a = Tensor::from_vec(a, &[3, 2]);
-        let b = Tensor::from_vec(b, &[3, 2]);
-        let c = Tensor::from_vec(c, &[2, 4]);
+/// Matmul distributes over addition: (A + B) C == AC + BC.
+#[test]
+fn matmul_distributes() {
+    let mut rng = Rng64::seed_from_u64(0xA1);
+    for _ in 0..48 {
+        let a = Tensor::from_vec(random_data(&mut rng, 6), &[3, 2]);
+        let b = Tensor::from_vec(random_data(&mut rng, 6), &[3, 2]);
+        let c = Tensor::from_vec(random_data(&mut rng, 8), &[2, 4]);
         let lhs = a.add(&b).matmul(&c);
         let rhs = a.matmul(&c).add(&b.matmul(&c));
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
     }
+}
 
-    /// Transpose reverses matmul: (AB)^T == B^T A^T.
-    #[test]
-    fn transpose_reverses_matmul(a in tensor_strategy(6), b in tensor_strategy(6)) {
-        let a = Tensor::from_vec(a, &[2, 3]);
-        let b = Tensor::from_vec(b, &[3, 2]);
+/// Transpose reverses matmul: (AB)^T == B^T A^T.
+#[test]
+fn transpose_reverses_matmul() {
+    let mut rng = Rng64::seed_from_u64(0xA2);
+    for _ in 0..48 {
+        let a = Tensor::from_vec(random_data(&mut rng, 6), &[2, 3]);
+        let b = Tensor::from_vec(random_data(&mut rng, 6), &[3, 2]);
         let lhs = a.matmul(&b).transpose2d();
         let rhs = b.transpose2d().matmul(&a.transpose2d());
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
     }
+}
 
-    /// im2col preserves total mass for kernel 1, stride 1 (a permutation).
-    #[test]
-    fn unit_kernel_im2col_is_permutation(data in tensor_strategy(2 * 3 * 4 * 4)) {
-        let x = Tensor::from_vec(data, &[2, 3, 4, 4]);
-        let spec = Conv2dSpec { in_channels: 3, out_channels: 1, kernel: 1, stride: 1, padding: 0 };
+/// im2col preserves total mass for kernel 1, stride 1 (a permutation).
+#[test]
+fn unit_kernel_im2col_is_permutation() {
+    let mut rng = Rng64::seed_from_u64(0xA3);
+    for _ in 0..48 {
+        let x = Tensor::from_vec(random_data(&mut rng, 2 * 3 * 4 * 4), &[2, 3, 4, 4]);
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let cols = im2col(&x, &spec);
-        prop_assert_eq!(cols.len(), x.len());
+        assert_eq!(cols.len(), x.len());
         let mut a: Vec<f32> = x.as_slice().to_vec();
         let mut b: Vec<f32> = cols.as_slice().to_vec();
         a.sort_by(f32::total_cmp);
         b.sort_by(f32::total_cmp);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// rows<->nchw conversion is a bijection.
-    #[test]
-    fn rows_nchw_bijection(data in tensor_strategy(2 * 3 * 2 * 5)) {
-        let x = Tensor::from_vec(data, &[2, 3, 2, 5]);
+/// rows<->nchw conversion is a bijection.
+#[test]
+fn rows_nchw_bijection() {
+    let mut rng = Rng64::seed_from_u64(0xA4);
+    for _ in 0..48 {
+        let x = Tensor::from_vec(random_data(&mut rng, 2 * 3 * 2 * 5), &[2, 3, 2, 5]);
         let back = rows_to_nchw(&nchw_to_rows(&x), 2, 3, 2, 5);
-        prop_assert_eq!(back, x);
+        assert_eq!(back, x);
     }
+}
 
-    /// Cross-entropy loss is non-negative, and its gradient rows sum to 0.
-    #[test]
-    fn cross_entropy_invariants(data in tensor_strategy(12), labels in proptest::collection::vec(0usize..4, 3)) {
-        let logits = Tensor::from_vec(data, &[3, 4]);
+/// Cross-entropy loss is non-negative, and its gradient rows sum to 0.
+#[test]
+fn cross_entropy_invariants() {
+    let mut rng = Rng64::seed_from_u64(0xA5);
+    for _ in 0..48 {
+        let logits = Tensor::from_vec(random_data(&mut rng, 12), &[3, 4]);
+        let labels: Vec<usize> = (0..3).map(|_| rng.index(4)).collect();
         let (loss, grad) = softmax_cross_entropy(&logits, &labels);
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0);
         for row in grad.as_slice().chunks(4) {
             let s: f32 = row.iter().sum();
-            prop_assert!(s.abs() < 1e-5);
+            assert!(s.abs() < 1e-5);
         }
     }
+}
 
-    /// Softmax is shift-invariant.
-    #[test]
-    fn softmax_shift_invariant(data in tensor_strategy(8), shift in -3.0f32..3.0) {
-        let a = Tensor::from_vec(data.clone(), &[2, 4]);
+/// Softmax is shift-invariant.
+#[test]
+fn softmax_shift_invariant() {
+    let mut rng = Rng64::seed_from_u64(0xA6);
+    for _ in 0..48 {
+        let a = Tensor::from_vec(random_data(&mut rng, 8), &[2, 4]);
+        let shift = rng.uniform_f32(-3.0, 3.0);
         let b = a.map(|v| v + shift);
         let pa = softmax(&a);
         let pb = softmax(&b);
         for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-5);
+            assert!((x - y).abs() < 1e-5);
         }
     }
+}
 
-    /// Top-k accuracy is monotone in k.
-    #[test]
-    fn topk_monotone_in_k(data in tensor_strategy(30), labels in proptest::collection::vec(0usize..10, 3)) {
-        let logits = Tensor::from_vec(data, &[3, 10]);
+/// Top-k accuracy is monotone in k.
+#[test]
+fn topk_monotone_in_k() {
+    let mut rng = Rng64::seed_from_u64(0xA7);
+    for _ in 0..48 {
+        let logits = Tensor::from_vec(random_data(&mut rng, 30), &[3, 10]);
+        let labels: Vec<usize> = (0..3).map(|_| rng.index(10)).collect();
         let mut prev = 0.0;
         for k in 1..=10 {
             let acc = top_k_accuracy(&logits, &labels, k);
-            prop_assert!(acc + 1e-12 >= prev, "k={k}: {acc} < {prev}");
+            assert!(acc + 1e-12 >= prev, "k={k}: {acc} < {prev}");
             prev = acc;
         }
-        prop_assert_eq!(top_k_accuracy(&logits, &labels, 10), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &labels, 10), 1.0);
     }
 }

@@ -38,6 +38,7 @@ fn main() {
         epochs: 8,
         schedule: StepSchedule::new(vec![(1, 2e-3)]),
         eval_every: 8,
+        resilience: None,
     };
     let pre = retrain(&mut float_model, &mut opt, &pre_cfg, &train, &test);
     println!("float accuracy: {:.2}%\n", pre.final_top1() * 100.0);
@@ -65,6 +66,7 @@ fn main() {
             epochs: 6,
             schedule: StepSchedule::new(vec![(1, 1e-3), (4, 5e-4)]),
             eval_every: 1,
+            resilience: None,
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         println!(

@@ -21,6 +21,7 @@ fn quick_cfg(epochs: usize) -> RetrainConfig {
         epochs,
         schedule: StepSchedule::new(vec![(1, 2e-3)]),
         eval_every: 1,
+        resilience: None,
     }
 }
 
