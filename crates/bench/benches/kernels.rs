@@ -55,8 +55,10 @@ fn bench<F: FnMut()>(name: &str, mut f: F) {
     }
     per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
-    println!("{name:40} {:>12.3} us/iter  ({iters_per_batch} iters x {samples} batches)",
-        median * 1e6);
+    println!(
+        "{name:40} {:>12.3} us/iter  ({iters_per_batch} iters x {samples} batches)",
+        median * 1e6
+    );
 }
 
 fn ramp(shape: &[usize]) -> Tensor {

@@ -53,7 +53,9 @@ fn main() {
         .filter_map(|s| s.trim().parse().ok())
         .collect();
     if fault_counts.is_empty() {
-        eprintln!("error: --faults {faults_arg:?} contains no fault counts (expected e.g. 0,1,2,4,8)");
+        eprintln!(
+            "error: --faults {faults_arg:?} contains no fault counts (expected e.g. 0,1,2,4,8)"
+        );
         std::process::exit(2);
     }
 
@@ -68,7 +70,11 @@ fn main() {
     };
     let base_name = format!(
         "mul{bits}u_{}",
-        if args.flag("wallace") { "wallace" } else { "array" }
+        if args.flag("wallace") {
+            "wallace"
+        } else {
+            "array"
+        }
     );
     let total_sites = fault_sites(circuit.netlist()).len();
     eprintln!("[fault] {base_name}: {total_sites} injectable fault sites");
@@ -141,7 +147,10 @@ fn main() {
         "Rollbacks",
     ];
     let table = markdown_table(&header, &rows);
-    println!("\n## Retraining accuracy vs fault count ({base_name}, float {:.2}%)\n", float_top1 * 100.0);
+    println!(
+        "\n## Retraining accuracy vs fault count ({base_name}, float {:.2}%)\n",
+        float_top1 * 100.0
+    );
     println!("{table}");
     let md = format!(
         "# Fault sweep: {base_name}\n\nfloat accuracy {:.2}% | hws {hws} | seed {seed} | {} retrain epochs\n\n{table}",
@@ -150,5 +159,9 @@ fn main() {
     );
     let path = write_results("fault_sweep.md", &md);
     let csv_path = write_results("fault_sweep.csv", &csv);
-    eprintln!("[fault] wrote {} and {}", path.display(), csv_path.display());
+    eprintln!(
+        "[fault] wrote {} and {}",
+        path.display(),
+        csv_path.display()
+    );
 }

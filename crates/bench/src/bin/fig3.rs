@@ -28,8 +28,7 @@ fn main() {
     let ste = GradientLut::build(&lut, GradientMode::Ste);
     let raw = GradientLut::build(&lut, GradientMode::RawDifference);
 
-    let mut csv =
-        String::from("x,appmult,accmult,smoothed,grad_diff,grad_ste,grad_raw\n");
+    let mut csv = String::from("x,appmult,accmult,smoothed,grad_diff,grad_ste,grad_raw\n");
     for x in 0..row.len() as u32 {
         let sm = smoothed[x as usize]
             .map(|v| format!("{v:.4}"))
@@ -59,6 +58,8 @@ fn main() {
     }
     let zero_raw = (1..127).filter(|&x| raw.wrt_x(wf, x) == 0.0).count();
     let zero_smooth = (0..128).filter(|&x| ours.wrt_x(wf, x) == 0.0).count();
-    println!("\nZero-gradient points: raw difference = {zero_raw}/126, smoothed = {zero_smooth}/128");
+    println!(
+        "\nZero-gradient points: raw difference = {zero_raw}/126, smoothed = {zero_smooth}/128"
+    );
     println!("Series written to {}", path.display());
 }

@@ -130,14 +130,8 @@ fn main() {
             continue;
         }
         let wins = pts.iter().filter(|r| r.ours_pct >= r.ste_pct).count();
-        let ste_spread = pts
-            .iter()
-            .map(|r| r.ste_pct)
-            .fold(f64::INFINITY, f64::min);
-        let ours_spread = pts
-            .iter()
-            .map(|r| r.ours_pct)
-            .fold(f64::INFINITY, f64::min);
+        let ste_spread = pts.iter().map(|r| r.ste_pct).fold(f64::INFINITY, f64::min);
+        let ours_spread = pts.iter().map(|r| r.ours_pct).fold(f64::INFINITY, f64::min);
         println!(
             "{bits}-bit: ours >= STE on {wins}/{} points; worst-case accuracy STE {ste_spread:.2}% vs ours {ours_spread:.2}%",
             pts.len()

@@ -13,7 +13,9 @@
 
 use std::sync::Arc;
 
-use appmult_bench::{pretrain_float, retrain_with_multiplier, write_results, Args, ModelKind, Scale, Workload};
+use appmult_bench::{
+    pretrain_float, retrain_with_multiplier, write_results, Args, ModelKind, Scale, Workload,
+};
 use appmult_models::ResNetDepth;
 use appmult_mult::{zoo, Multiplier};
 use appmult_retrain::GradientMode;
@@ -32,7 +34,10 @@ fn main() {
     println!("## Fig. 6 — top-5 accuracy vs epoch (mul6u_rm4, CIFAR-100-like)\n");
     let workload = Workload::generate(&scale);
 
-    for (model_label, depth) in [("ResNet34", ResNetDepth::R34), ("ResNet50", ResNetDepth::R50)] {
+    for (model_label, depth) in [
+        ("ResNet34", ResNetDepth::R34),
+        ("ResNet50", ResNetDepth::R50),
+    ] {
         let kind = ModelKind::ResNet(depth);
         eprintln!("[fig6] pretraining float {model_label}...");
         let t = std::time::Instant::now();
@@ -76,7 +81,10 @@ fn main() {
                 .filter_map(|e| e.test_top5)
                 .map(|v| format!("{:.1}", v * 100.0))
                 .collect();
-            println!("  {method:>4} top-5 per epoch: [{}] -> final {top5:.2}%", curve.join(", "));
+            println!(
+                "  {method:>4} top-5 per epoch: [{}] -> final {top5:.2}%",
+                curve.join(", ")
+            );
         }
         let gap = finals[1].1 - finals[0].1;
         println!("  ours - STE (final top-5): {gap:+.2} points\n");

@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use appmult_bench::{
-    markdown_table, pretrain_float, retrain_with_multiplier, write_results, Args, ModelKind,
-    Scale, Workload,
+    markdown_table, pretrain_float, retrain_with_multiplier, write_results, Args, ModelKind, Scale,
+    Workload,
 };
 use appmult_mult::{zoo, Multiplier};
 use appmult_retrain::{candidates_for_bits, select_hws, GradientMode};
@@ -110,7 +110,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Multiplier", "Selected HWS", "Paper HWS", "loss per candidate"],
+            &[
+                "Multiplier",
+                "Selected HWS",
+                "Paper HWS",
+                "loss per candidate"
+            ],
             &rows
         )
     );

@@ -1,0 +1,235 @@
+//! `par_scale` — serial-vs-parallel throughput of the LUT kernels.
+//!
+//! Times the four parallelized hot paths — conv GEMM forward, conv GEMM
+//! backward, gradient-LUT build, and exhaustive truth-table extraction —
+//! once pinned to a single thread and once at the requested thread count,
+//! and checks that every parallel result is bit-identical to the serial
+//! one (the partitioning is over disjoint output rows, so it must be).
+//!
+//! Emits `results/BENCH_par.json` plus a console table. On a single-core
+//! host the speedup hovers around 1.0x (the pool degrades to the serial
+//! path); the bit-identity columns still exercise the full machinery.
+//!
+//! Flags: `--threads N` (default: `APPMULT_THREADS` or the host
+//! parallelism, min 4), `--reps N` best-of repetitions (default 5).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use appmult_bench::{markdown_table, write_results, Args};
+use appmult_circuit::{ExhaustiveTable, MultiplierCircuit};
+use appmult_mult::{Multiplier, TruncatedMultiplier};
+use appmult_nn::{Module, Tensor};
+use appmult_pool::{set_global_threads, Pool};
+use appmult_retrain::{ApproxConv2d, GradientLut, GradientMode, QuantConfig};
+use appmult_rng::Rng64;
+
+struct BenchRow {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+/// Best-of-`reps` wall-clock milliseconds of `f`.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn bits_of(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let len = shape.iter().product();
+    let mut rng = Rng64::seed_from_u64(seed);
+    let data = (0..len).map(|_| rng.uniform_f32(-1.5, 1.5)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let threads = args.get_or("threads", Pool::global().threads().max(4));
+    let reps = args.get_or("reps", 5usize);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("par_scale: {threads} threads vs serial, best of {reps} (host parallelism {host})");
+
+    let lut = Arc::new(TruncatedMultiplier::new(8, 6).to_lut());
+    let mode = GradientMode::difference_based(8);
+    let grads = Arc::new(GradientLut::build_with_pool(
+        &lut,
+        mode.clone(),
+        Pool::serial(),
+    ));
+    let make_conv = || {
+        ApproxConv2d::new(
+            8,
+            16,
+            3,
+            1,
+            1,
+            7,
+            lut.clone(),
+            grads.clone(),
+            QuantConfig::default(),
+        )
+    };
+    let input = random_tensor(&[4, 8, 12, 12], 0xC0FFEE);
+    let grad_out = random_tensor(&[4, 16, 12, 12], 0xF00D);
+    let mut rows = Vec::new();
+
+    // Conv forward/backward go through Pool::global() inside the layer, so
+    // the serial/parallel toggle is the global thread override.
+    {
+        set_global_threads(1);
+        let mut conv = make_conv();
+        let serial_out = conv.forward(&input, true);
+        let mut conv_s = make_conv();
+        let serial_ms = best_ms(reps, || {
+            let _ = conv_s.forward(&input, true);
+        });
+
+        set_global_threads(threads);
+        let mut conv = make_conv();
+        let parallel_out = conv.forward(&input, true);
+        let mut conv_p = make_conv();
+        let parallel_ms = best_ms(reps, || {
+            let _ = conv_p.forward(&input, true);
+        });
+        rows.push(BenchRow {
+            name: "conv_forward",
+            serial_ms,
+            parallel_ms,
+            identical: bits_of(&serial_out) == bits_of(&parallel_out),
+        });
+    }
+    {
+        set_global_threads(1);
+        let mut conv = make_conv();
+        let _ = conv.forward(&input, true);
+        let serial_dx = conv.backward(&grad_out);
+        let serial_ms = best_ms(reps, || {
+            let _ = conv.backward(&grad_out);
+        });
+
+        set_global_threads(threads);
+        let mut conv = make_conv();
+        let _ = conv.forward(&input, true);
+        let parallel_dx = conv.backward(&grad_out);
+        let parallel_ms = best_ms(reps, || {
+            let _ = conv.backward(&grad_out);
+        });
+        rows.push(BenchRow {
+            name: "conv_backward",
+            serial_ms,
+            parallel_ms,
+            identical: bits_of(&serial_dx) == bits_of(&parallel_dx),
+        });
+    }
+    set_global_threads(0); // drop the override for anything downstream
+
+    // LUT builds take the pool explicitly.
+    {
+        let serial = GradientLut::build_with_pool(&lut, mode.clone(), Pool::serial());
+        let parallel = GradientLut::build_with_pool(&lut, mode.clone(), Pool::new(threads));
+        let serial_ms = best_ms(reps, || {
+            let _ = GradientLut::build_with_pool(&lut, mode.clone(), Pool::serial());
+        });
+        let parallel_ms = best_ms(reps, || {
+            let _ = GradientLut::build_with_pool(&lut, mode.clone(), Pool::new(threads));
+        });
+        let identical = (0..1u32 << 16).all(|i| {
+            let (w, x) = (i >> 8, i & 0xFF);
+            serial.wrt_w(w, x).to_bits() == parallel.wrt_w(w, x).to_bits()
+                && serial.wrt_x(w, x).to_bits() == parallel.wrt_x(w, x).to_bits()
+        });
+        rows.push(BenchRow {
+            name: "gradient_lut_build",
+            serial_ms,
+            parallel_ms,
+            identical,
+        });
+    }
+    {
+        let mult = MultiplierCircuit::array(8);
+        let nl = mult.netlist();
+        let serial = ExhaustiveTable::build_in(nl, Pool::serial());
+        let parallel = ExhaustiveTable::build_in(nl, Pool::new(threads));
+        let serial_ms = best_ms(reps, || {
+            let _ = ExhaustiveTable::build_in(nl, Pool::serial());
+        });
+        let parallel_ms = best_ms(reps, || {
+            let _ = ExhaustiveTable::build_in(nl, Pool::new(threads));
+        });
+        rows.push(BenchRow {
+            name: "exhaustive_table",
+            serial_ms,
+            parallel_ms,
+            identical: serial == parallel,
+        });
+    }
+
+    let table = markdown_table(
+        &[
+            "kernel",
+            "serial ms",
+            "parallel ms",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    format!("{:.3}", r.serial_ms),
+                    format!("{:.3}", r.parallel_ms),
+                    format!("{:.2}x", r.speedup()),
+                    r.identical.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\n{table}");
+
+    let benches: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"serial_ms\": {:.4}, ",
+                    "\"parallel_ms\": {:.4}, \"speedup\": {:.4}, \"identical\": {}}}"
+                ),
+                r.name,
+                r.serial_ms,
+                r.parallel_ms,
+                r.speedup(),
+                r.identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"host_parallelism\": {host},\n  \
+         \"reps\": {reps},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        benches.join(",\n")
+    );
+    let path = write_results("BENCH_par.json", &json);
+    println!("wrote {}", path.display());
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "parallel kernels must be bit-identical"
+    );
+}

@@ -22,9 +22,9 @@ use appmult_bench::{
     compare_entry, markdown_table, pretrain_float, select_hws_by_proxy, write_results, Args,
     ComparisonRow, ModelKind, Scale, Workload,
 };
-use appmult_mult::Multiplier;
 use appmult_models::{ResNetDepth, VggDepth};
 use appmult_mult::zoo;
+use appmult_mult::Multiplier;
 
 fn main() {
     let args = Args::from_env();
@@ -38,7 +38,11 @@ fn main() {
             "VGG",
         ),
         "resnet" => (
-            ModelKind::ResNet(if full { ResNetDepth::R18 } else { ResNetDepth::R10 }),
+            ModelKind::ResNet(if full {
+                ResNetDepth::R18
+            } else {
+                ResNetDepth::R10
+            }),
             "ResNet",
         ),
         other => {
@@ -198,7 +202,10 @@ fn main() {
         ],
         &md_rows,
     );
-    println!("\n## Table II ({label}, {} mode)\n", if full { "paper-scale" } else { "CPU-scale" });
+    println!(
+        "\n## Table II ({label}, {} mode)\n",
+        if full { "paper-scale" } else { "CPU-scale" }
+    );
     println!("{table}");
 
     // CSV for fig5.
@@ -207,7 +214,14 @@ fn main() {
         let bits = if r.name.starts_with("mul8") { 8 } else { 7 };
         csv.push_str(&format!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{}\n",
-            r.name, r.initial_pct, r.ste_pct, r.ours_pct, r.norm_power, r.norm_delay, r.nmed_pct, bits
+            r.name,
+            r.initial_pct,
+            r.ste_pct,
+            r.ours_pct,
+            r.norm_power,
+            r.norm_delay,
+            r.nmed_pct,
+            bits
         ));
     }
     for (name, row) in &reference {

@@ -11,6 +11,7 @@
 //! | `fig6`   | Fig. 6 — top-5 accuracy curves on the CIFAR-100-like task |
 //! | `hws_select` | Table I HWS column — the Sec. V-A selection sweep |
 //! | `fault_sweep` | Retraining accuracy vs injected hardware fault count |
+//! | `par_scale` | Serial-vs-parallel throughput of the LUT kernels |
 //!
 //! All experiments run on deterministic synthetic data (see
 //! `appmult-data`) at a CPU-friendly scale by default; pass `--full` for
@@ -25,8 +26,8 @@ use appmult_data::{DatasetConfig, SyntheticDataset};
 use appmult_models::{copy_params, resnet, vgg, ConvMode, ModelConfig, ResNetDepth, VggDepth};
 use appmult_mult::zoo::ZooEntry;
 use appmult_mult::{Multiplier, MultiplierLut};
-use appmult_nn::optim::{Adam, StepSchedule};
 use appmult_nn::layers::Sequential;
+use appmult_nn::optim::{Adam, StepSchedule};
 use appmult_retrain::{
     evaluate, retrain, Batch, GradientLut, GradientMode, ResiliencePolicy, RetrainConfig,
     RetrainHistory,
@@ -340,8 +341,8 @@ pub fn compare_entry(
 /// ASAP7-like model; behavioural-only surrogates fall back to the paper's
 /// published values (marked in Table I output).
 pub fn hardware_normalized(entry: &ZooEntry) -> (f64, f64) {
-    let reference = appmult_circuit::CostModel::asap7()
-        .estimate(&appmult_circuit::MultiplierCircuit::array(8));
+    let reference =
+        appmult_circuit::CostModel::asap7().estimate(&appmult_circuit::MultiplierCircuit::array(8));
     match entry.multiplier.circuit() {
         Some(circuit) => {
             let cost = appmult_circuit::CostModel::asap7().estimate(&circuit);
@@ -350,10 +351,7 @@ pub fn hardware_normalized(entry: &ZooEntry) -> (f64, f64) {
                 cost.delay_ps / reference.delay_ps,
             )
         }
-        None => (
-            entry.paper.power_uw / 22.93,
-            entry.paper.delay_ps / 730.1,
-        ),
+        None => (entry.paper.power_uw / 22.93, entry.paper.delay_ps / 730.1),
     }
 }
 
@@ -428,11 +426,7 @@ mod tests {
 
     #[test]
     fn args_parse_flags_and_values() {
-        let a = Args::from_vec(vec![
-            "--full".into(),
-            "--epochs".into(),
-            "7".into(),
-        ]);
+        let a = Args::from_vec(vec!["--full".into(), "--epochs".into(), "7".into()]);
         assert!(a.flag("full"));
         assert!(!a.flag("quick"));
         assert_eq!(a.get_or("epochs", 3usize), 7);

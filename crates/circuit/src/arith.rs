@@ -120,8 +120,7 @@ impl MultiplierCircuit {
     /// [`Netlist::validate`].
     pub fn from_netlist(netlist: Netlist, bits: u32) -> Result<Self, NetlistError> {
         netlist.validate()?;
-        if netlist.num_inputs() != 2 * bits as usize
-            || netlist.outputs().len() != 2 * bits as usize
+        if netlist.num_inputs() != 2 * bits as usize || netlist.outputs().len() != 2 * bits as usize
         {
             return Err(NetlistError::UnknownSignal(Signal(0)));
         }
@@ -181,7 +180,10 @@ impl MultiplierCircuit {
     /// Panics if an operand does not fit in [`MultiplierCircuit::bits`] bits.
     pub fn multiply(&self, w: u64, x: u64) -> u64 {
         let b = self.bits;
-        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        assert!(
+            w < (1 << b) && x < (1 << b),
+            "operands must fit in {b} bits"
+        );
         let mut bools = Vec::with_capacity(2 * b as usize);
         for i in 0..b {
             bools.push((w >> i) & 1 == 1);

@@ -119,12 +119,18 @@ pub fn to_blif(netlist: &Netlist, model_name: &str) -> String {
     let _ = writeln!(
         s,
         ".inputs {}",
-        (0..n_in).map(|i| format!("i{i}")).collect::<Vec<_>>().join(" ")
+        (0..n_in)
+            .map(|i| format!("i{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     let _ = writeln!(
         s,
         ".outputs {}",
-        (0..n_out).map(|o| format!("o{o}")).collect::<Vec<_>>().join(" ")
+        (0..n_out)
+            .map(|o| format!("o{o}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     let mut input_index = vec![usize::MAX; netlist.num_nodes()];

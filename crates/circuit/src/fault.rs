@@ -83,17 +83,26 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// A stuck-at-0 fault at `site`.
     pub fn stuck_at_0(site: Signal) -> Self {
-        Self { site, kind: FaultKind::StuckAt0 }
+        Self {
+            site,
+            kind: FaultKind::StuckAt0,
+        }
     }
 
     /// A stuck-at-1 fault at `site`.
     pub fn stuck_at_1(site: Signal) -> Self {
-        Self { site, kind: FaultKind::StuckAt1 }
+        Self {
+            site,
+            kind: FaultKind::StuckAt1,
+        }
     }
 
     /// An output-inversion fault at `site`.
     pub fn output_invert(site: Signal) -> Self {
-        Self { site, kind: FaultKind::OutputInvert }
+        Self {
+            site,
+            kind: FaultKind::OutputInvert,
+        }
     }
 }
 
@@ -155,7 +164,11 @@ pub fn simulate_words_faulted(
     let overlay = compile_overlay(netlist, faults)?;
     let mut scratch = Vec::new();
     simulate_words_into_overlay(netlist, input_words, &mut scratch, &overlay);
-    Ok(netlist.outputs().iter().map(|s| scratch[s.index()]).collect())
+    Ok(netlist
+        .outputs()
+        .iter()
+        .map(|s| scratch[s.index()])
+        .collect())
 }
 
 /// Like [`ExhaustiveTable::build`], but with `faults` injected.
@@ -175,9 +188,13 @@ pub fn exhaustive_table_faulted(
     faults: &[FaultSpec],
 ) -> Result<ExhaustiveTable, NetlistError> {
     let overlay = compile_overlay(netlist, faults)?;
-    Ok(ExhaustiveTable::build_with(netlist, |nl, words, scratch| {
-        simulate_words_into_overlay(nl, words, scratch, &overlay);
-    }))
+    Ok(ExhaustiveTable::build_with(
+        netlist,
+        appmult_pool::Pool::global(),
+        |nl, words, scratch| {
+            simulate_words_into_overlay(nl, words, scratch, &overlay);
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -199,7 +216,11 @@ mod tests {
     #[test]
     fn empty_fault_list_is_identity() {
         let nl = adder_netlist();
-        let words = [0xDEAD_BEEF_0123_4567, 0xAAAA_5555_FFFF_0000, 0x0F0F_F0F0_CAFE_BABE];
+        let words = [
+            0xDEAD_BEEF_0123_4567,
+            0xAAAA_5555_FFFF_0000,
+            0x0F0F_F0F0_CAFE_BABE,
+        ];
         let clean = simulate_words(&nl, &words);
         let faulted = simulate_words_faulted(&nl, &[], &words).unwrap();
         assert_eq!(clean, faulted);

@@ -36,13 +36,13 @@ mod fault;
 mod netlist;
 mod sim;
 
-pub use als::{AlsConfig, AlsOutcome, AlsRewrite, synthesize};
-pub use arith::{MultiplierCircuit, MultiplierStructure, ripple_carry_adder, AdderCircuit};
+pub use als::{synthesize, AlsConfig, AlsOutcome, AlsRewrite};
+pub use arith::{ripple_carry_adder, AdderCircuit, MultiplierCircuit, MultiplierStructure};
+pub use cost::{CostModel, GateCosts, HardwareCost};
 pub use dots::DotColumns;
 pub use export::{to_blif, to_verilog};
-pub use cost::{CostModel, GateCosts, HardwareCost};
 pub use fault::{
     exhaustive_table_faulted, fault_sites, simulate_words_faulted, FaultKind, FaultSpec,
 };
-pub use netlist::{GateKind, Netlist, Signal, NetlistError};
-pub use sim::{simulate_words, simulate_bools, ExhaustiveTable};
+pub use netlist::{GateKind, Netlist, NetlistError, Signal};
+pub use sim::{simulate_bools, simulate_words, ExhaustiveTable};

@@ -136,7 +136,10 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::UnknownSignal(s) => write!(f, "unknown signal {s}"),
             NetlistError::WouldCycle { gate, replacement } => {
-                write!(f, "replacing {gate} with {replacement} would create a cycle")
+                write!(
+                    f,
+                    "replacing {gate} with {replacement} would create a cycle"
+                )
             }
         }
     }
@@ -330,7 +333,11 @@ impl Netlist {
             return Err(NetlistError::UnknownSignal(gate));
         }
         self.gates[idx] = Gate {
-            kind: if value { GateKind::Const1 } else { GateKind::Const0 },
+            kind: if value {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            },
             fanins: [Signal(0); 2],
         };
         Ok(())

@@ -5,6 +5,8 @@
 //! vectors at once. This is the standard EDA trick that makes exhaustive
 //! evaluation of 16-bit input spaces (8-bit × 8-bit multipliers) cheap.
 
+use appmult_pool::Pool;
+
 use crate::fault::FaultKind;
 use crate::netlist::{GateKind, Netlist};
 
@@ -19,7 +21,11 @@ use crate::netlist::{GateKind, Netlist};
 pub fn simulate_words(netlist: &Netlist, input_words: &[u64]) -> Vec<u64> {
     let mut values = vec![0u64; netlist.num_nodes()];
     simulate_words_into(netlist, input_words, &mut values);
-    netlist.outputs().iter().map(|s| values[s.index()]).collect()
+    netlist
+        .outputs()
+        .iter()
+        .map(|s| values[s.index()])
+        .collect()
 }
 
 /// Like [`simulate_words`] but writes every node value into `scratch`,
@@ -59,13 +65,9 @@ pub(crate) fn simulate_words_into_overlay(
             GateKind::And => scratch[gate.fanins[0].index()] & scratch[gate.fanins[1].index()],
             GateKind::Or => scratch[gate.fanins[0].index()] | scratch[gate.fanins[1].index()],
             GateKind::Xor => scratch[gate.fanins[0].index()] ^ scratch[gate.fanins[1].index()],
-            GateKind::Nand => {
-                !(scratch[gate.fanins[0].index()] & scratch[gate.fanins[1].index()])
-            }
+            GateKind::Nand => !(scratch[gate.fanins[0].index()] & scratch[gate.fanins[1].index()]),
             GateKind::Nor => !(scratch[gate.fanins[0].index()] | scratch[gate.fanins[1].index()]),
-            GateKind::Xnor => {
-                !(scratch[gate.fanins[0].index()] ^ scratch[gate.fanins[1].index()])
-            }
+            GateKind::Xnor => !(scratch[gate.fanins[0].index()] ^ scratch[gate.fanins[1].index()]),
         };
         if let Some(Some(fault)) = overlay.get(sig.index()) {
             v = fault.apply(v);
@@ -115,54 +117,80 @@ pub struct ExhaustiveTable {
 }
 
 impl ExhaustiveTable {
-    /// Builds the table by bit-parallel simulation over all `2^n` patterns.
+    /// Builds the table by bit-parallel simulation over all `2^n` patterns,
+    /// using the global thread pool (`APPMULT_THREADS`).
     ///
     /// # Panics
     ///
     /// Panics if the netlist has more than 24 primary inputs (the table would
     /// exceed 16M entries) or more than 64 outputs.
     pub fn build(netlist: &Netlist) -> Self {
-        Self::build_with(netlist, simulate_words_into)
+        Self::build_in(netlist, Pool::global())
+    }
+
+    /// Like [`ExhaustiveTable::build`] with an explicit worker pool.
+    ///
+    /// The `2^n` input patterns are partitioned into 64-lane simulation
+    /// words and the word blocks are distributed across the workers; every
+    /// table entry is written by exactly one worker, so the result is
+    /// bit-identical for any thread count.
+    pub fn build_in(netlist: &Netlist, pool: Pool) -> Self {
+        Self::build_with(netlist, pool, simulate_words_into)
     }
 
     /// Builds the table with a caller-supplied simulation kernel (same
-    /// contract as [`simulate_words_into`]). This is how the fault-injection
-    /// module extracts truth tables of defective hardware without mutating
-    /// the netlist.
-    pub(crate) fn build_with<F>(netlist: &Netlist, mut sim: F) -> Self
+    /// contract as [`simulate_words_into`], except the kernel must be
+    /// `Fn + Sync` so word blocks can run on several workers). This is how
+    /// the fault-injection module extracts truth tables of defective
+    /// hardware without mutating the netlist.
+    pub(crate) fn build_with<F>(netlist: &Netlist, pool: Pool, sim: F) -> Self
     where
-        F: FnMut(&Netlist, &[u64], &mut Vec<u64>),
+        F: Fn(&Netlist, &[u64], &mut Vec<u64>) + Sync,
     {
         let n = netlist.num_inputs() as u32;
-        assert!(n <= 24, "exhaustive table limited to 24 input bits, got {n}");
+        assert!(
+            n <= 24,
+            "exhaustive table limited to 24 input bits, got {n}"
+        );
         assert!(netlist.outputs().len() <= 64, "at most 64 output bits");
         let total: usize = 1usize << n;
         let mut values = vec![0u64; total];
-        let mut scratch = Vec::new();
-        let mut input_words = vec![0u64; netlist.num_inputs()];
-        let words = total.div_ceil(64);
-        for w in 0..words {
-            let base = (w * 64) as u64;
-            for (i, word) in input_words.iter_mut().enumerate() {
-                if i < 6 {
-                    // Patterns within one word enumerate the low 6 input bits.
-                    *word = PERIODIC[i];
-                } else {
-                    // Higher bits are constant within the word.
-                    *word = if (base >> i) & 1 == 1 { u64::MAX } else { 0 };
+        // Fills the 64-lane words starting at word index `first_word`. Each
+        // worker owns its scratch buffers, so workers share nothing mutable.
+        let fill_words = |first_word: usize, out: &mut [u64]| {
+            let mut scratch = Vec::new();
+            let mut input_words = vec![0u64; netlist.num_inputs()];
+            for (wl, lane_chunk) in out.chunks_mut(64).enumerate() {
+                let base = ((first_word + wl) * 64) as u64;
+                for (i, word) in input_words.iter_mut().enumerate() {
+                    if i < 6 {
+                        // Patterns within one word enumerate the low 6 input bits.
+                        *word = PERIODIC[i];
+                    } else {
+                        // Higher bits are constant within the word.
+                        *word = if (base >> i) & 1 == 1 { u64::MAX } else { 0 };
+                    }
+                }
+                sim(netlist, &input_words, &mut scratch);
+                for (lane, v) in lane_chunk.iter_mut().enumerate() {
+                    let mut out_bits = 0u64;
+                    for (o, sig) in netlist.outputs().iter().enumerate() {
+                        out_bits |= ((scratch[sig.index()] >> lane) & 1) << o;
+                    }
+                    *v = out_bits;
                 }
             }
-            sim(netlist, &input_words, &mut scratch);
-            let lanes = (total - w * 64).min(64);
-            for lane in 0..lanes {
-                let mut out = 0u64;
-                for (o, sig) in netlist.outputs().iter().enumerate() {
-                    out |= ((scratch[sig.index()] >> lane) & 1) << o;
-                }
-                values[w * 64 + lane] = out;
-            }
+        };
+        if total.is_multiple_of(64) {
+            pool.run_rows(&mut values, 64, fill_words);
+        } else {
+            // Fewer than 6 inputs: a single partial word, run serially.
+            fill_words(0, &mut values);
         }
-        Self { input_bits: n, values }
+        Self {
+            input_bits: n,
+            values,
+        }
     }
 
     /// Number of primary input bits.
@@ -216,7 +244,11 @@ pub(crate) fn signal_probabilities(netlist: &Netlist) -> Vec<f64> {
         }
         simulate_words_into(netlist, &input_words, &mut scratch);
         let lanes = (total - w * 64).min(64);
-        let mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
         for (c, v) in ones.iter_mut().zip(&scratch) {
             *c += (v & mask).count_ones() as u64;
         }
@@ -283,6 +315,29 @@ mod tests {
         for v in 0..256u64 {
             assert_eq!(t.values()[v as usize], u64::from(v.count_ones() % 2));
         }
+    }
+
+    #[test]
+    fn parallel_exhaustive_table_matches_serial() {
+        // A 10-input multiplier netlist: 1024 patterns = 16 words, spread
+        // over worker counts that do not divide 16.
+        let nl = crate::MultiplierCircuit::array(5).netlist().clone();
+        let serial = ExhaustiveTable::build_in(&nl, Pool::serial());
+        for threads in [2usize, 3, 5, 16, 64] {
+            let par = ExhaustiveTable::build_in(&nl, Pool::new(threads));
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // Sub-word netlist (3 inputs < 64 lanes) stays on the serial path.
+        let mut small = Netlist::new();
+        let a = small.input();
+        let b = small.input();
+        let c = small.input();
+        let (s, co) = small.full_adder(a, b, c);
+        small.set_outputs(vec![s, co]);
+        assert_eq!(
+            ExhaustiveTable::build_in(&small, Pool::serial()),
+            ExhaustiveTable::build_in(&small, Pool::new(8)),
+        );
     }
 
     #[test]

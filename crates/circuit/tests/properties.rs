@@ -179,7 +179,11 @@ fn als_respects_any_budget() {
             ..AlsConfig::default()
         };
         let out = synthesize(&exact, &cfg);
-        assert!(out.nmed <= budget + 1e-12, "budget {budget}, nmed {}", out.nmed);
+        assert!(
+            out.nmed <= budget + 1e-12,
+            "budget {budget}, nmed {}",
+            out.nmed
+        );
         // The rewritten circuit still has the full output bus.
         assert_eq!(out.circuit.exhaustive_products().len(), 256);
     }

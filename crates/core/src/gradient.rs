@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use appmult_mult::MultiplierLut;
+use appmult_pool::Pool;
 
 use crate::smoothing::{row_min_max, smooth_row};
 
@@ -107,13 +108,22 @@ pub struct GradientLut {
 }
 
 impl GradientLut {
-    /// Builds the gradient tables for `lut` under `mode`.
+    /// Builds the gradient tables for `lut` under `mode`, using the global
+    /// thread pool (`APPMULT_THREADS`).
     ///
     /// # Panics
     ///
     /// Panics if `mode` is `DifferenceBased` with `hws == 0`, or `Custom`
     /// with tables of the wrong length.
     pub fn build(lut: &MultiplierLut, mode: GradientMode) -> Self {
+        Self::build_with_pool(lut, mode, Pool::global())
+    }
+
+    /// Like [`GradientLut::build`] with an explicit worker pool. Table rows
+    /// (fixed `W_f` slices) are independent, so they are partitioned across
+    /// the workers; each entry is written exactly once, making the tables
+    /// bit-identical for every thread count.
+    pub fn build_with_pool(lut: &MultiplierLut, mode: GradientMode, pool: Pool) -> Self {
         let bits = lut.bits();
         let n = 1usize << bits;
         let label = mode.label();
@@ -131,41 +141,22 @@ impl GradientLut {
             }
             GradientMode::DifferenceBased { hws } => {
                 assert!(hws >= 1, "half window size must be positive");
-                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope);
-                let gw = difference_tables(&lut.transposed(), hws, BoundaryRule::AverageSlope);
-                // `gw` was computed on the transposed LUT (rows indexed by
-                // x); transpose it back into (w << B) | x layout.
-                let mut gw_t = vec![0.0f32; n * n];
-                for x in 0..n {
-                    for w in 0..n {
-                        gw_t[w * n + x] = gw[x * n + w];
-                    }
-                }
-                (Arc::new(gw_t), Arc::new(gx))
+                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope, pool);
+                let gw =
+                    difference_tables(&lut.transposed(), hws, BoundaryRule::AverageSlope, pool);
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
             }
             GradientMode::RawDifference => {
-                let gx = raw_difference_tables(lut);
-                let gw = raw_difference_tables(&lut.transposed());
-                let mut gw_t = vec![0.0f32; n * n];
-                for x in 0..n {
-                    for w in 0..n {
-                        gw_t[w * n + x] = gw[x * n + w];
-                    }
-                }
-                (Arc::new(gw_t), Arc::new(gx))
+                let gx = raw_difference_tables(lut, pool);
+                let gw = raw_difference_tables(&lut.transposed(), pool);
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
             }
             GradientMode::DifferenceEdgeClamped { hws } => {
                 assert!(hws >= 1, "half window size must be positive");
-                let gx = difference_tables(lut, hws, BoundaryRule::ClampToInterior);
+                let gx = difference_tables(lut, hws, BoundaryRule::ClampToInterior, pool);
                 let gw =
-                    difference_tables(&lut.transposed(), hws, BoundaryRule::ClampToInterior);
-                let mut gw_t = vec![0.0f32; n * n];
-                for x in 0..n {
-                    for w in 0..n {
-                        gw_t[w * n + x] = gw[x * n + w];
-                    }
-                }
-                (Arc::new(gw_t), Arc::new(gx))
+                    difference_tables(&lut.transposed(), hws, BoundaryRule::ClampToInterior, pool);
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
             }
             GradientMode::Custom { wrt_w, wrt_x } => {
                 assert_eq!(wrt_w.len(), n * n, "wrt_w table length");
@@ -199,7 +190,10 @@ impl GradientLut {
     #[inline]
     pub fn wrt_w(&self, w: u32, x: u32) -> f32 {
         let b = self.bits;
-        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        assert!(
+            w < (1 << b) && x < (1 << b),
+            "operands must fit in {b} bits"
+        );
         self.wrt_w[((w as usize) << b) | x as usize]
     }
 
@@ -211,7 +205,10 @@ impl GradientLut {
     #[inline]
     pub fn wrt_x(&self, w: u32, x: u32) -> f32 {
         let b = self.bits;
-        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        assert!(
+            w < (1 << b) && x < (1 << b),
+            "operands must fit in {b} bits"
+        );
         self.wrt_x[((w as usize) << b) | x as usize]
     }
 
@@ -235,67 +232,85 @@ enum BoundaryRule {
     ClampToInterior,
 }
 
-/// Eq. 5 + boundary rule over every row of `lut` (gradient w.r.t. the
-/// second operand of the given table).
-fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule) -> Vec<f32> {
-    let bits = lut.bits();
-    let n = 1usize << bits;
-    let h = hws as usize;
+/// Transposes an `n x n` gradient table from `(x << B) | w` layout back
+/// into the canonical `(w << B) | x` layout.
+fn transpose_table(n: usize, t: &[f32]) -> Vec<f32> {
+    assert_eq!(t.len(), n * n, "table must be n x n");
     let mut out = vec![0.0f32; n * n];
-    for w in 0..n as u32 {
-        let row = lut.row(w);
-        let smoothed = smooth_row(row, hws);
-        let (lo, hi) = row_min_max(row);
-        // Eq. 6: average change per unit X over the full operand range.
-        let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
-        let out_row = &mut out[(w as usize) * n..(w as usize + 1) * n];
-        let mut first_interior = None;
-        let mut last_interior = None;
-        for x in 0..n {
-            let interior = x > h && x + h + 1 < n; // HWS < X < 2^B - 1 - HWS
-            if interior {
-                let sp = smoothed[x + 1].expect("x + 1 in smoothing domain");
-                let sm = smoothed[x - 1].expect("x - 1 in smoothing domain");
-                out_row[x] = ((sp - sm) / 2.0) as f32;
-                first_interior.get_or_insert(x);
-                last_interior = Some(x);
-            } else {
-                out_row[x] = boundary;
-            }
-        }
-        if rule == BoundaryRule::ClampToInterior {
-            if let (Some(first), Some(last)) = (first_interior, last_interior) {
-                let (head, tail) = (out_row[first], out_row[last]);
-                for v in &mut out_row[..first] {
-                    *v = head;
-                }
-                for v in &mut out_row[last + 1..n] {
-                    *v = tail;
-                }
-            }
+    for x in 0..n {
+        for w in 0..n {
+            out[w * n + x] = t[x * n + w];
         }
     }
     out
 }
 
+/// Eq. 5 + boundary rule over every row of `lut` (gradient w.r.t. the
+/// second operand of the given table). Rows (weight values `w`) are
+/// independent and partitioned across the pool's workers.
+fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule, pool: Pool) -> Vec<f32> {
+    let bits = lut.bits();
+    let n = 1usize << bits;
+    let h = hws as usize;
+    let mut out = vec![0.0f32; n * n];
+    pool.run_rows(&mut out, n, |w0, chunk| {
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            let w = (w0 + r) as u32;
+            let row = lut.row(w);
+            let smoothed = smooth_row(row, hws);
+            let (lo, hi) = row_min_max(row);
+            // Eq. 6: average change per unit X over the full operand range.
+            let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
+            let mut first_interior = None;
+            let mut last_interior = None;
+            for x in 0..n {
+                let interior = x > h && x + h + 1 < n; // HWS < X < 2^B - 1 - HWS
+                if interior {
+                    let sp = smoothed[x + 1].expect("x + 1 in smoothing domain");
+                    let sm = smoothed[x - 1].expect("x - 1 in smoothing domain");
+                    out_row[x] = ((sp - sm) / 2.0) as f32;
+                    first_interior.get_or_insert(x);
+                    last_interior = Some(x);
+                } else {
+                    out_row[x] = boundary;
+                }
+            }
+            if rule == BoundaryRule::ClampToInterior {
+                if let (Some(first), Some(last)) = (first_interior, last_interior) {
+                    let (head, tail) = (out_row[first], out_row[last]);
+                    for v in &mut out_row[..first] {
+                        *v = head;
+                    }
+                    for v in &mut out_row[last + 1..n] {
+                        *v = tail;
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
 /// Ablation: central difference of the raw AppMult row, Eq. 6 at the ends.
-fn raw_difference_tables(lut: &MultiplierLut) -> Vec<f32> {
+fn raw_difference_tables(lut: &MultiplierLut, pool: Pool) -> Vec<f32> {
     let bits = lut.bits();
     let n = 1usize << bits;
     let mut out = vec![0.0f32; n * n];
-    for w in 0..n as u32 {
-        let row = lut.row(w);
-        let (lo, hi) = row_min_max(row);
-        let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
-        let out_row = &mut out[(w as usize) * n..(w as usize + 1) * n];
-        for x in 0..n {
-            out_row[x] = if x > 0 && x + 1 < n {
-                (f64::from(row[x + 1]) - f64::from(row[x - 1])) as f32 / 2.0
-            } else {
-                boundary
-            };
+    pool.run_rows(&mut out, n, |w0, chunk| {
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            let w = (w0 + r) as u32;
+            let row = lut.row(w);
+            let (lo, hi) = row_min_max(row);
+            let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
+            for x in 0..n {
+                out_row[x] = if x > 0 && x + 1 < n {
+                    (f64::from(row[x + 1]) - f64::from(row[x - 1])) as f32 / 2.0
+                } else {
+                    boundary
+                };
+            }
         }
-    }
+    });
     out
 }
 
@@ -348,8 +363,17 @@ mod tests {
                 g.wrt_x(9, x)
             );
         }
-        // X = 5 is NOT interior (Eq. 5 needs X > HWS), X = 6 is.
+        // With HWS = 4, Eq. 5's domain is X > HWS, so X = 4 is the last
+        // boundary operand and X = 5 is already interior: it takes the
+        // smoothed central difference (exactly W = 9 for the exact
+        // multiplier), not the Eq. 6 average slope.
         assert!((g.wrt_x(9, 4) - expect).abs() < 1e-4);
+        assert!(
+            (g.wrt_x(9, 5) - expect).abs() > 1e-2,
+            "X = 5 must not use the Eq. 6 boundary value, got {}",
+            g.wrt_x(9, 5)
+        );
+        assert!((g.wrt_x(9, 5) - 9.0).abs() < 1e-3);
     }
 
     #[test]
@@ -394,7 +418,10 @@ mod tests {
         let lut = TruncatedMultiplier::new(6, 4).to_lut();
         let g = GradientLut::build(&lut, GradientMode::difference_based(32));
         let row = lut.row(20);
-        let (lo, hi) = (row.iter().min().copied().expect("nonempty"), row.iter().max().copied().expect("nonempty"));
+        let (lo, hi) = (
+            row.iter().min().copied().expect("nonempty"),
+            row.iter().max().copied().expect("nonempty"),
+        );
         let expect = (hi - lo) as f32 / 64.0;
         for x in 0..64 {
             assert!((g.wrt_x(20, x) - expect).abs() < 1e-4, "x={x}");
@@ -408,7 +435,10 @@ mod tests {
         let lut = TruncatedMultiplier::new(7, 6).to_lut();
         let g = GradientLut::build(&lut, GradientMode::RawDifference);
         let zeros = (1..127).filter(|&x| g.wrt_x(10, x) == 0.0).count();
-        assert!(zeros > 40, "expected many zero-gradient plateaus, got {zeros}");
+        assert!(
+            zeros > 40,
+            "expected many zero-gradient plateaus, got {zeros}"
+        );
 
         // And the smoothed version has far fewer.
         let gs = GradientLut::build(&lut, GradientMode::difference_based(4));
@@ -445,6 +475,37 @@ mod tests {
         assert_eq!(clamp.wrt_x(20, 0), clamp.wrt_x(20, 5));
         assert_eq!(clamp.wrt_x(20, 63), clamp.wrt_x(20, 58));
         assert_eq!(clamp.mode_label(), "diff-clamp(hws=4)");
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // 64 rows across worker counts that do not divide it evenly.
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let modes = [
+            GradientMode::difference_based(3),
+            GradientMode::RawDifference,
+            GradientMode::DifferenceEdgeClamped { hws: 2 },
+            GradientMode::Ste,
+        ];
+        for mode in modes {
+            let serial = GradientLut::build_with_pool(&lut, mode.clone(), Pool::serial());
+            for threads in [2usize, 3, 5, 7, 64, 100] {
+                let par = GradientLut::build_with_pool(&lut, mode.clone(), Pool::new(threads));
+                let bits_of = |t: &[f32]| -> Vec<u32> { t.iter().map(|v| v.to_bits()).collect() };
+                assert_eq!(
+                    bits_of(serial.wrt_w_table()),
+                    bits_of(par.wrt_w_table()),
+                    "wrt_w {} threads={threads}",
+                    mode.label()
+                );
+                assert_eq!(
+                    bits_of(serial.wrt_x_table()),
+                    bits_of(par.wrt_x_table()),
+                    "wrt_x {} threads={threads}",
+                    mode.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -128,14 +128,7 @@ mod tests {
 
     #[test]
     fn skips_diverged_runs() {
-        let sel = select_hws(&[1, 2, 4], |h| {
-            if h == 1 {
-                f64::NAN
-            } else {
-                h as f64
-            }
-        })
-        .unwrap();
+        let sel = select_hws(&[1, 2, 4], |h| if h == 1 { f64::NAN } else { h as f64 }).unwrap();
         assert_eq!(sel.best, 2);
     }
 

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use appmult_mult::MultiplierLut;
 use appmult_nn::layers::{col2im, im2col, nchw_to_rows, rows_to_nchw, Conv2dSpec};
 use appmult_nn::{Module, Parameter, Tensor};
+use appmult_pool::Pool;
 
 use crate::gradient::GradientLut;
 use crate::quant::{dequantize_dot, Observer, QuantParams};
@@ -30,8 +31,8 @@ impl Default for QuantConfig {
 /// Shared quantized-GEMM state cached between forward and backward.
 #[derive(Debug, Default)]
 struct GemmCache {
-    wq: Vec<u16>,    // [J, K] quantized weights
-    xq: Vec<u16>,    // [M, K] quantized activations
+    wq: Vec<u16>,     // [J, K] quantized weights
+    xq: Vec<u16>,     // [M, K] quantized activations
     wclip: Vec<bool>, // Q'(w) != 0
     xclip: Vec<bool>, // Q'(x) != 0
     wq_params: Option<QuantParams>,
@@ -81,7 +82,12 @@ fn quantize_slice(values: &[f32], params: &QuantParams) -> (Vec<u16>, Vec<bool>)
 }
 
 /// LUT forward pass: `out[m][j] = DQ(sum_k AM(Wq[j][k], Xq[m][k])) + bias[j]`.
-fn gemm_forward(cache: &GemmCache, lut: &MultiplierLut, bias: &[f32]) -> Tensor {
+///
+/// Output rows are independent, so the batch dimension `M` is partitioned
+/// across the pool's workers; every `out[m][j]` is produced by exactly one
+/// worker with the same per-element accumulation order as a serial run, so
+/// the result is bit-identical for any thread count.
+fn gemm_forward(cache: &GemmCache, lut: &MultiplierLut, bias: &[f32], pool: Pool) -> Tensor {
     let (m, j, k) = (cache.m, cache.j, cache.k);
     let bits = lut.bits();
     let table = lut.entries();
@@ -98,24 +104,40 @@ fn gemm_forward(cache: &GemmCache, lut: &MultiplierLut, bias: &[f32]) -> Tensor 
         .map(|row| row.iter().map(|&v| i64::from(v)).sum())
         .collect();
     let mut out = vec![0.0f32; m * j];
-    for mi in 0..m {
-        let x_row = &cache.xq[mi * k..(mi + 1) * k];
-        for ji in 0..j {
-            let w_row = &cache.wq[ji * k..(ji + 1) * k];
-            let mut acc = 0i64;
-            for (wv, xv) in w_row.iter().zip(x_row) {
-                acc += i64::from(table[((*wv as usize) << bits) | *xv as usize]);
+    pool.run_rows(&mut out, j, |mi0, chunk| {
+        for (r, out_row) in chunk.chunks_mut(j).enumerate() {
+            let mi = mi0 + r;
+            let x_row = &cache.xq[mi * k..(mi + 1) * k];
+            for (ji, o) in out_row.iter_mut().enumerate() {
+                let w_row = &cache.wq[ji * k..(ji + 1) * k];
+                let mut acc = 0i64;
+                for (wv, xv) in w_row.iter().zip(x_row) {
+                    acc += i64::from(table[((*wv as usize) << bits) | *xv as usize]);
+                }
+                *o =
+                    dequantize_dot(&wq_params, &xq_params, acc, sum_w[ji], sum_x[mi], k) + bias[ji];
             }
-            out[mi * j + ji] =
-                dequantize_dot(&wq_params, &xq_params, acc, sum_w[ji], sum_x[mi], k)
-                    + bias[ji];
         }
-    }
+    });
     Tensor::from_vec(out, &[m, j])
 }
 
 /// LUT backward pass (Eq. 9): returns `(dW, dX)` for `g = dL/d(out)`.
-fn gemm_backward(cache: &GemmCache, grads: &GradientLut, g: &Tensor) -> (Tensor, Tensor) {
+///
+/// Runs as two data-parallel passes over disjoint output slices: the `dX`
+/// half is row-partitioned over the batch dimension `M` (each worker owns
+/// whole `dx` rows and accumulates over `J` in ascending order) and the
+/// `dW` half is partitioned over the output-channel dimension `J` (each
+/// worker owns whole `dw` rows and accumulates over `M` in ascending
+/// order). Both orders match the serial fused loop element for element, so
+/// no atomic float accumulation is needed and the tensors are bit-identical
+/// to a serial run for any thread count.
+fn gemm_backward(
+    cache: &GemmCache,
+    grads: &GradientLut,
+    g: &Tensor,
+    pool: Pool,
+) -> (Tensor, Tensor) {
     let (m, j, k) = (cache.m, cache.j, cache.k);
     assert_eq!(g.shape(), &[m, j], "output gradient shape mismatch");
     let bits = grads.bits();
@@ -128,41 +150,59 @@ fn gemm_backward(cache: &GemmCache, grads: &GradientLut, g: &Tensor) -> (Tensor,
     let sw = wq_params.scale;
     let sx = xq_params.scale;
     let gd = g.as_slice();
-    let mut dw = vec![0.0f32; j * k];
+
     let mut dx = vec![0.0f32; m * k];
-    for mi in 0..m {
-        let x_row = &cache.xq[mi * k..(mi + 1) * k];
-        let dx_row = &mut dx[mi * k..(mi + 1) * k];
-        for ji in 0..j {
-            let gv = gd[mi * j + ji];
-            if gv == 0.0 {
-                continue;
+    pool.run_rows(&mut dx, k, |mi0, chunk| {
+        for (r, dx_row) in chunk.chunks_mut(k).enumerate() {
+            let mi = mi0 + r;
+            let x_row = &cache.xq[mi * k..(mi + 1) * k];
+            for ji in 0..j {
+                let gv = gd[mi * j + ji];
+                if gv == 0.0 {
+                    continue;
+                }
+                let w_row = &cache.wq[ji * k..(ji + 1) * k];
+                for kk in 0..k {
+                    let idx = ((w_row[kk] as usize) << bits) | x_row[kk] as usize;
+                    dx_row[kk] += gv * sw * (gx_table[idx] - zw);
+                }
             }
+            // Clipped-STE mask of Q'(x).
+            for (v, &keep) in dx_row.iter_mut().zip(&cache.xclip[mi * k..(mi + 1) * k]) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+        }
+    });
+
+    let mut dw = vec![0.0f32; j * k];
+    pool.run_rows(&mut dw, k, |ji0, chunk| {
+        for (r, dw_row) in chunk.chunks_mut(k).enumerate() {
+            let ji = ji0 + r;
             let w_row = &cache.wq[ji * k..(ji + 1) * k];
-            let dw_row = &mut dw[ji * k..(ji + 1) * k];
-            for kk in 0..k {
-                let idx = ((w_row[kk] as usize) << bits) | x_row[kk] as usize;
-                // dL/dw = dL/dy * s_x * (dAM/dW - Z_x), gated by Q' clipping.
-                dw_row[kk] += gv * sx * (gw_table[idx] - zx);
-                dx_row[kk] += gv * sw * (gx_table[idx] - zw);
+            for mi in 0..m {
+                let gv = gd[mi * j + ji];
+                if gv == 0.0 {
+                    continue;
+                }
+                let x_row = &cache.xq[mi * k..(mi + 1) * k];
+                for kk in 0..k {
+                    let idx = ((w_row[kk] as usize) << bits) | x_row[kk] as usize;
+                    // dL/dw = dL/dy * s_x * (dAM/dW - Z_x), gated by Q'.
+                    dw_row[kk] += gv * sx * (gw_table[idx] - zx);
+                }
+            }
+            // Clipped-STE mask of Q'(w).
+            for (v, &keep) in dw_row.iter_mut().zip(&cache.wclip[ji * k..(ji + 1) * k]) {
+                if !keep {
+                    *v = 0.0;
+                }
             }
         }
-    }
-    // Apply the clipped-STE masks.
-    for (v, &keep) in dw.iter_mut().zip(&cache.wclip) {
-        if !keep {
-            *v = 0.0;
-        }
-    }
-    for (v, &keep) in dx.iter_mut().zip(&cache.xclip) {
-        if !keep {
-            *v = 0.0;
-        }
-    }
-    (
-        Tensor::from_vec(dw, &[j, k]),
-        Tensor::from_vec(dx, &[m, k]),
-    )
+    });
+
+    (Tensor::from_vec(dw, &[j, k]), Tensor::from_vec(dx, &[m, k]))
 }
 
 /// A 2-D convolution whose multiplications go through an AppMult LUT and
@@ -224,7 +264,14 @@ impl ApproxConv2d {
         };
         let fan_in = spec.patch_len();
         let weight = appmult_nn::init::kaiming_normal(&[out_channels, fan_in], fan_in, seed);
-        Self::with_params(spec, weight, Tensor::zeros(&[out_channels]), lut, grads, config)
+        Self::with_params(
+            spec,
+            weight,
+            Tensor::zeros(&[out_channels]),
+            lut,
+            grads,
+            config,
+        )
     }
 
     /// Wraps existing float weights (e.g. from a pretrained accurate model,
@@ -284,6 +331,12 @@ impl ApproxConv2d {
     pub fn operand_histograms(&self) -> Option<(Vec<f64>, Vec<f64>)> {
         self.cache.operand_histograms(self.lut.bits())
     }
+
+    /// Number of batches the activation observer rejected for non-finite
+    /// extrema (see [`Observer::rejected`]).
+    pub fn observer_rejections(&self) -> usize {
+        self.observer.rejected()
+    }
 }
 
 impl Module for ApproxConv2d {
@@ -318,7 +371,12 @@ impl Module for ApproxConv2d {
             k,
         };
         self.input_hw = (n, h, w);
-        let rows = gemm_forward(&self.cache, &self.lut, self.bias.value.as_slice());
+        let rows = gemm_forward(
+            &self.cache,
+            &self.lut,
+            self.bias.value.as_slice(),
+            Pool::global(),
+        );
         rows_to_nchw(&rows, n, self.spec.out_channels, oh, ow)
     }
 
@@ -326,7 +384,7 @@ impl Module for ApproxConv2d {
         assert!(self.cache.m > 0, "backward before forward");
         let (n, h, w) = self.input_hw;
         let g_rows = nchw_to_rows(grad_out);
-        let (dw, dx) = gemm_backward(&self.cache, &self.grads, &g_rows);
+        let (dw, dx) = gemm_backward(&self.cache, &self.grads, &g_rows, Pool::global());
         self.weight.grad.add_scaled(&dw, 1.0);
         let jdim = self.spec.out_channels;
         {
@@ -414,6 +472,12 @@ impl ApproxLinear {
     pub fn operand_histograms(&self) -> Option<(Vec<f64>, Vec<f64>)> {
         self.cache.operand_histograms(self.lut.bits())
     }
+
+    /// Number of batches the activation observer rejected for non-finite
+    /// extrema (see [`Observer::rejected`]).
+    pub fn observer_rejections(&self) -> usize {
+        self.observer.rejected()
+    }
 }
 
 impl Module for ApproxLinear {
@@ -440,12 +504,17 @@ impl Module for ApproxLinear {
             j: self.out_features(),
             k: self.in_features(),
         };
-        gemm_forward(&self.cache, &self.lut, self.bias.value.as_slice())
+        gemm_forward(
+            &self.cache,
+            &self.lut,
+            self.bias.value.as_slice(),
+            Pool::global(),
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(self.cache.m > 0, "backward before forward");
-        let (dw, dx) = gemm_backward(&self.cache, &self.grads, grad_out);
+        let (dw, dx) = gemm_backward(&self.cache, &self.grads, grad_out, Pool::global());
         self.weight.grad.add_scaled(&dw, 1.0);
         let jdim = self.out_features();
         {
@@ -599,17 +668,17 @@ mod tests {
         let g = Tensor::full(&[4, 2], 1.0);
         let dx = approx.backward(&g);
         assert_eq!(dx.as_slice()[0], 0.0, "clipped activation gradient");
-        assert!(dx.as_slice()[1] != 0.0, "in-range activations keep gradient");
+        assert!(
+            dx.as_slice()[1] != 0.0,
+            "in-range activations keep gradient"
+        );
     }
 
     #[test]
     fn gradient_lut_swap_changes_backward_only() {
         let lut = Arc::new(TruncatedMultiplier::new(8, 8).to_lut());
         let ste = Arc::new(GradientLut::build(&lut, GradientMode::Ste));
-        let diff = Arc::new(GradientLut::build(
-            &lut,
-            GradientMode::difference_based(16),
-        ));
+        let diff = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(16)));
         let x = ramp(&[2, 2, 5, 5], 1.0);
         let g = ramp(&[2, 3, 5, 5], 1.0);
 
@@ -697,12 +766,80 @@ mod tests {
         assert!((wh.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((xh.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Feed the marginals into the distribution-aware metrics.
-        let metrics = appmult_mult::ErrorMetrics::with_marginals(
-            approx.lut.as_ref(),
-            &wh,
-            &xh,
-        );
+        let metrics = appmult_mult::ErrorMetrics::with_marginals(approx.lut.as_ref(), &wh, &xh);
         assert_eq!(metrics.max_ed, 0, "exact multiplier has no error");
+    }
+
+    /// Runs one forward to populate the cache, then evaluates both GEMM
+    /// kernels serially and with `threads` workers, asserting bit-identical
+    /// outputs (`f32::to_bits`, not approximate equality).
+    fn assert_gemm_parity(m: usize, j: usize, k: usize, threads: usize) {
+        let lut = Arc::new(TruncatedMultiplier::new(8, 6).to_lut());
+        let grads = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(8)));
+        let mut layer = ApproxLinear::with_params(
+            ramp(&[j, k], 1.2),
+            ramp(&[j], 0.2),
+            lut.clone(),
+            grads.clone(),
+            QuantConfig::default(),
+        );
+        let x = ramp(&[m, k], 1.7);
+        layer.forward(&x, true);
+
+        let bits_of =
+            |t: &Tensor| -> Vec<u32> { t.as_slice().iter().map(|v| v.to_bits()).collect() };
+        let pool = Pool::new(threads);
+        let bias = layer.bias.value.as_slice();
+        let y_serial = gemm_forward(&layer.cache, &lut, bias, Pool::serial());
+        let y_par = gemm_forward(&layer.cache, &lut, bias, pool);
+        assert_eq!(
+            bits_of(&y_serial),
+            bits_of(&y_par),
+            "forward m={m} j={j} k={k} threads={threads}"
+        );
+
+        let g = ramp(&[m, j], 0.9);
+        let (dw_s, dx_s) = gemm_backward(&layer.cache, &grads, &g, Pool::serial());
+        let (dw_p, dx_p) = gemm_backward(&layer.cache, &grads, &g, pool);
+        assert_eq!(
+            bits_of(&dw_s),
+            bits_of(&dw_p),
+            "dW m={m} j={j} k={k} threads={threads}"
+        );
+        assert_eq!(
+            bits_of(&dx_s),
+            bits_of(&dx_p),
+            "dX m={m} j={j} k={k} threads={threads}"
+        );
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial() {
+        // Shapes deliberately not divisible by the worker counts, plus
+        // single-row and single-column degenerate cases.
+        for &(m, j, k) in &[
+            (5usize, 3usize, 7usize),
+            (1, 1, 1),
+            (17, 5, 11),
+            (4, 2, 1),
+            (1, 8, 3),
+        ] {
+            for threads in [1usize, 2, 3, 4, 8] {
+                assert_gemm_parity(m, j, k, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_parity_on_random_shapes() {
+        let mut rng = appmult_rng::Rng64::seed_from_u64(0x6E44);
+        for _ in 0..12 {
+            let m = 1 + rng.below(24) as usize;
+            let j = 1 + rng.below(9) as usize;
+            let k = 1 + rng.below(13) as usize;
+            let threads = 1 + rng.below(6) as usize;
+            assert_gemm_parity(m, j, k, threads);
+        }
     }
 
     #[test]

@@ -113,10 +113,19 @@ pub fn dequantize_dot(
 ///
 /// The first observation initializes the range directly; later batches are
 /// blended with momentum, the standard fake-quantization recipe.
+///
+/// Batches whose extrema are non-finite (an `Inf` activation, or a tensor
+/// with no finite elements at all — note that `f32::min`/`max` skip NaN, so
+/// a lone NaN among finite values never reaches the extrema) are *rejected*:
+/// the running range is left untouched and [`Observer::rejected`] is
+/// incremented. Folding such extrema into the EMA would corrupt the range
+/// permanently and make every later [`Observer::quant_params`] call panic —
+/// exactly the poisoning the resilient retraining loop must survive.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Observer {
     range: Option<(f32, f32)>,
     momentum: f32,
+    rejected: usize,
 }
 
 impl Observer {
@@ -130,12 +139,19 @@ impl Observer {
         Self {
             range: None,
             momentum,
+            rejected: 0,
         }
     }
 
-    /// Folds a batch's min/max into the running range.
+    /// Folds a batch's min/max into the running range. Non-finite extrema
+    /// are rejected: the previous range (if any) is kept and the rejection
+    /// is counted instead.
     pub fn observe(&mut self, t: &Tensor) {
         let (lo, hi) = t.min_max();
+        if !lo.is_finite() || !hi.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.range = Some(match self.range {
             None => (lo, hi),
             Some((rlo, rhi)) => (
@@ -148,6 +164,11 @@ impl Observer {
     /// Current range, if any batch has been observed.
     pub fn range(&self) -> Option<(f32, f32)> {
         self.range
+    }
+
+    /// Number of batches rejected for non-finite extrema.
+    pub fn rejected(&self) -> usize {
+        self.rejected
     }
 
     /// Quantization parameters for the current range.
@@ -246,5 +267,42 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn unobserved_params_panic() {
         Observer::new(0.1).quant_params(8);
+    }
+
+    #[test]
+    fn non_finite_extrema_are_rejected_not_folded() {
+        let mut obs = Observer::new(0.5);
+        obs.observe(&Tensor::from_vec(vec![-1.0, 1.0], &[2]));
+        let calibrated = obs.range().expect("calibrated");
+        // Inf extrema, an all-NaN batch, and -Inf extrema must all be
+        // skipped; the EMA range stays exactly where it was.
+        obs.observe(&Tensor::from_vec(vec![0.0, f32::INFINITY], &[2]));
+        obs.observe(&Tensor::from_vec(vec![f32::NAN, f32::NAN], &[2]));
+        obs.observe(&Tensor::from_vec(vec![f32::NEG_INFINITY, 0.5], &[2]));
+        assert_eq!(obs.range().expect("still calibrated"), calibrated);
+        assert_eq!(obs.rejected(), 3);
+        // quant_params must not hit from_range's finite assert.
+        assert!(obs.quant_params(8).scale.is_finite());
+        // Finite batches keep blending afterwards.
+        obs.observe(&Tensor::from_vec(vec![-3.0, 3.0], &[2]));
+        assert_ne!(obs.range().expect("updated"), calibrated);
+    }
+
+    #[test]
+    fn lone_nan_is_invisible_to_extrema() {
+        // f32::min/max skip NaN, so a single poisoned pixel among finite
+        // values never reaches the observer's extrema in the first place.
+        let mut obs = Observer::new(0.5);
+        obs.observe(&Tensor::from_vec(vec![-1.0, f32::NAN, 1.0], &[3]));
+        assert_eq!(obs.range(), Some((-1.0, 1.0)));
+        assert_eq!(obs.rejected(), 0);
+    }
+
+    #[test]
+    fn rejected_first_batch_leaves_observer_uncalibrated() {
+        let mut obs = Observer::new(0.1);
+        obs.observe(&Tensor::from_vec(vec![f32::NAN, f32::NAN], &[2]));
+        assert!(obs.range().is_none());
+        assert_eq!(obs.rejected(), 1);
     }
 }

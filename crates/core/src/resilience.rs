@@ -204,7 +204,12 @@ mod tests {
         scrub_and_clip(&mut m, Some(1.0));
         let mut sq = 0f64;
         m.visit_params(&mut |p| {
-            sq += p.grad.as_slice().iter().map(|&g| f64::from(g) * f64::from(g)).sum::<f64>();
+            sq += p
+                .grad
+                .as_slice()
+                .iter()
+                .map(|&g| f64::from(g) * f64::from(g))
+                .sum::<f64>();
         });
         assert!((sq.sqrt() - 1.0).abs() < 1e-4, "norm {}", sq.sqrt());
     }

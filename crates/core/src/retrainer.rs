@@ -200,9 +200,9 @@ pub fn retrain(
             }
         }
         let train_loss = loss_mean.mean();
-        let rollbacks = guard
-            .as_mut()
-            .map_or(0, |g| g.observe_epoch(model, train_loss, nonfinite_batches > 0));
+        let rollbacks = guard.as_mut().map_or(0, |g| {
+            g.observe_epoch(model, train_loss, nonfinite_batches > 0)
+        });
         let evaluate_now =
             !test.is_empty() && (epoch % config.eval_every == 0 || epoch == config.epochs);
         let (t1, t5) = if evaluate_now {
@@ -258,7 +258,9 @@ mod tests {
             let mut data = vec![];
             let mut labels = vec![];
             for k in 0..8 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let noise = ((s >> 33) as f32 / 2.0_f32.powi(31)) * 0.2;
                 let class = k % 2;
                 let base = if class == 0 { 0.8 } else { -0.8 };
@@ -290,7 +292,11 @@ mod tests {
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         assert_eq!(history.epochs.len(), 5);
-        assert!(history.final_top1() > 0.95, "top1 = {}", history.final_top1());
+        assert!(
+            history.final_top1() > 0.95,
+            "top1 = {}",
+            history.final_top1()
+        );
         assert!(history.final_train_loss() < 0.3);
         // Loss decreased overall.
         assert!(history.epochs[4].train_loss < history.epochs[0].train_loss);
@@ -379,6 +385,72 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_batch_with_policy_survives_on_approx_model() {
+        // Regression test for observer poisoning: an Inf/NaN-poisoned batch
+        // used to fold a non-finite extremum into the activation observer's
+        // EMA range, so the next `quant_params` call died on `from_range`'s
+        // finite assert — even with the resilience policy enabled, and with
+        // the range corrupted for good. The observer must reject the
+        // poisoned extrema and the run must survive end to end, like the
+        // float-model test `nan_batch_with_policy_recovers_with_recorded_
+        // rollback` does.
+        use crate::{ApproxLinear, GradientLut, GradientMode, QuantConfig};
+        use appmult_mult::{ExactMultiplier, Multiplier};
+        use std::sync::Arc;
+
+        // ApproxLinear wants [N, in] batches; flatten the blob images.
+        let flatten = |batches: Vec<Batch>| -> Vec<Batch> {
+            batches
+                .into_iter()
+                .map(|(t, labels)| {
+                    let n = t.shape()[0];
+                    let features = t.as_slice().len() / n;
+                    (
+                        Tensor::from_vec(t.as_slice().to_vec(), &[n, features]),
+                        labels,
+                    )
+                })
+                .collect()
+        };
+        let mut train = flatten(two_blob_batches(4, 3));
+        train[1].0.as_mut_slice()[0] = f32::NAN;
+        train[1].0.as_mut_slice()[1] = f32::INFINITY; // non-finite batch maximum
+        let test = flatten(two_blob_batches(2, 99));
+
+        let lut = Arc::new(ExactMultiplier::new(8).to_lut());
+        let grads = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(8)));
+        let mut model = ApproxLinear::new(4, 2, 1, lut, grads, QuantConfig::default());
+        // Calibrate on clean data first, as every harness does for the
+        // Table II "initial accuracy" column.
+        let _ = evaluate(&mut model, &test);
+
+        let mut opt = Adam::new(1e-2);
+        let cfg = RetrainConfig {
+            epochs: 5,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 1,
+            resilience: Some(crate::ResiliencePolicy::default()),
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+        // The poisoned batch fires every epoch; each firing must be
+        // rejected by the observer rather than corrupting its range.
+        assert!(
+            model.observer_rejections() >= cfg.epochs,
+            "rejections = {}",
+            model.observer_rejections()
+        );
+        // And the run survives with finite numbers end to end (quantization
+        // clamps the poisoned activations, so no rollback is even needed).
+        assert!(history.final_train_loss().is_finite(), "{history:?}");
+        assert!(history.final_top1().is_finite());
+        let mut all_finite = true;
+        model.visit_params(&mut |p| {
+            all_finite &= p.value.as_slice().iter().all(|v| v.is_finite());
+        });
+        assert!(all_finite, "weights must stay finite under the policy");
+    }
+
+    #[test]
     fn lr_backoff_is_visible_after_rollback() {
         let mut train = two_blob_batches(2, 3);
         train[0].0.as_mut_slice()[0] = f32::INFINITY;
@@ -393,7 +465,10 @@ mod tests {
         let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
         assert_eq!(history.epochs[0].lr, 1e-2);
         assert!(history.epochs[0].rollbacks > 0);
-        assert!(history.epochs[1].lr < 1e-2, "lr must back off after rollback");
+        assert!(
+            history.epochs[1].lr < 1e-2,
+            "lr must back off after rollback"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@
 /// ]);
 /// ```
 pub fn smooth_row(row: &[u32], hws: u32) -> Vec<Option<f64>> {
-    assert!(!row.is_empty() && row.len().is_power_of_two(), "row length must be 2^B");
+    assert!(
+        !row.is_empty() && row.len().is_power_of_two(),
+        "row length must be 2^B"
+    );
     assert!(hws >= 1, "half window size must be positive");
     let n = row.len();
     let hws = hws as usize;

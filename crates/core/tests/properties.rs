@@ -62,7 +62,9 @@ fn smoothing_stays_in_envelope() {
     for _ in 0..64 {
         let seed = rng.below(1000) as u32;
         let hws = 1 + rng.below(7) as u32;
-        let row: Vec<u32> = (0..64u32).map(|x| (x.wrapping_mul(seed) >> 3) % 997).collect();
+        let row: Vec<u32> = (0..64u32)
+            .map(|x| (x.wrapping_mul(seed) >> 3) % 997)
+            .collect();
         let lo = *row.iter().min().expect("nonempty") as f64;
         let hi = *row.iter().max().expect("nonempty") as f64;
         for s in smooth_row(&row, hws).into_iter().flatten() {

@@ -237,7 +237,9 @@ fn prototype(config: &DatasetConfig, rng: &mut Rng64) -> Vec<f32> {
     let grid = 4usize;
     let mut out = Vec::with_capacity(config.channels * h * w);
     for _ in 0..config.channels {
-        let coarse: Vec<f32> = (0..grid * grid).map(|_| rng.uniform_f32(-1.0, 1.0)).collect();
+        let coarse: Vec<f32> = (0..grid * grid)
+            .map(|_| rng.uniform_f32(-1.0, 1.0))
+            .collect();
         for y in 0..h {
             for x in 0..w {
                 let gy = y as f32 * (grid - 1) as f32 / (h.max(2) - 1) as f32;

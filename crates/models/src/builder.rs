@@ -27,12 +27,9 @@ impl std::fmt::Debug for ConvMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConvMode::Accurate => write!(f, "Accurate"),
-            ConvMode::Approximate { lut, grads, .. } => write!(
-                f,
-                "Approximate({}, {})",
-                lut.name(),
-                grads.mode_label()
-            ),
+            ConvMode::Approximate { lut, grads, .. } => {
+                write!(f, "Approximate({}, {})", lut.name(), grads.mode_label())
+            }
         }
     }
 }
@@ -58,9 +55,7 @@ impl ConvMode {
         seed: u64,
     ) -> Box<dyn Module> {
         match self {
-            ConvMode::Accurate => {
-                Box::new(Conv2d::new(in_c, out_c, kernel, stride, padding, seed))
-            }
+            ConvMode::Accurate => Box::new(Conv2d::new(in_c, out_c, kernel, stride, padding, seed)),
             ConvMode::Approximate { lut, grads, config } => Box::new(ApproxConv2d::new(
                 in_c,
                 out_c,

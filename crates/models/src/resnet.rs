@@ -1,8 +1,6 @@
 //! ResNet models (CIFAR stems) with basic and bottleneck blocks.
 
-use appmult_nn::layers::{
-    BatchNorm2d, Flatten, GlobalAvgPool, Linear, Relu, Residual, Sequential,
-};
+use appmult_nn::layers::{BatchNorm2d, Flatten, GlobalAvgPool, Linear, Relu, Residual, Sequential};
 
 use crate::builder::ModelConfig;
 
@@ -61,7 +59,11 @@ pub fn resnet(depth: ResNetDepth, config: &ModelConfig) -> Sequential {
 
     let mut net = Sequential::new();
     // Stem: conv3x3 + BN + ReLU (no max pool on CIFAR-sized inputs).
-    net.push_boxed(config.conv.conv(config.input_channels, widths[0], 3, 1, 1, seed));
+    net.push_boxed(
+        config
+            .conv
+            .conv(config.input_channels, widths[0], 3, 1, 1, seed),
+    );
     net.push_boxed(Box::new(BatchNorm2d::new(widths[0])));
     net.push_boxed(Box::new(Relu::new()));
     seed += 1;

@@ -25,8 +25,8 @@ fn plan(depth: VggDepth) -> Vec<Option<usize>> {
             64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
         ],
         VggDepth::V19 => &[
-            64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512,
-            512, 512, 0,
+            64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512, 512,
+            512, 0,
         ],
         VggDepth::Small => &[32, 32, 0, 64, 64, 0, 128, 128, 0],
     };
@@ -91,10 +91,7 @@ mod tests {
 
     #[test]
     fn vgg19_has_16_conv_layers() {
-        let convs = plan(VggDepth::V19)
-            .iter()
-            .filter(|s| s.is_some())
-            .count();
+        let convs = plan(VggDepth::V19).iter().filter(|s| s.is_some()).count();
         assert_eq!(convs, 16);
         assert_eq!(
             plan(VggDepth::V16).iter().filter(|s| s.is_some()).count(),

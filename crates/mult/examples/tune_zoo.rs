@@ -3,27 +3,61 @@ use appmult_mult::*;
 
 fn report<M: Multiplier>(m: &M) {
     let e = ErrorMetrics::exhaustive(&m.to_lut());
-    println!("{:24} ER {:5.1}%  NMED {:6.3}%  MaxED {:5}", m.name(), e.er_pct(), e.nmed_pct(), e.max_ed);
+    println!(
+        "{:24} ER {:5.1}%  NMED {:6.3}%  MaxED {:5}",
+        m.name(),
+        e.er_pct(),
+        e.nmed_pct(),
+        e.max_ed
+    );
 }
 
 fn main() {
     println!("== 8-bit ==");
     report(&TruncatedMultiplier::new(8, 8));
-    for d in [0u32, 2, 4, 6] { report(&BrokenTruncatedMultiplier::new(8, 8, d)); }
-    for t in [3u32, 4, 5, 6, 7] { report(&Recursive2x2Multiplier::new(8, t)); }
-    for s in [3u32, 4, 5] { report(&SegmentedMultiplier::new(8, s)); }
-    for k in [8u32, 9] { report(&CompensatedTruncatedMultiplier::with_mean_compensation(8, k)); }
-    for k in [8u32, 9, 10] { report(&LowerOrMultiplier::new(8, k)); }
+    for d in [0u32, 2, 4, 6] {
+        report(&BrokenTruncatedMultiplier::new(8, 8, d));
+    }
+    for t in [3u32, 4, 5, 6, 7] {
+        report(&Recursive2x2Multiplier::new(8, t));
+    }
+    for s in [3u32, 4, 5] {
+        report(&SegmentedMultiplier::new(8, s));
+    }
+    for k in [8u32, 9] {
+        report(&CompensatedTruncatedMultiplier::with_mean_compensation(
+            8, k,
+        ));
+    }
+    for k in [8u32, 9, 10] {
+        report(&LowerOrMultiplier::new(8, k));
+    }
     println!("== 7-bit ==");
     report(&TruncatedMultiplier::new(7, 6));
-    for d in [2u32, 4, 6] { report(&BrokenTruncatedMultiplier::new(7, 6, d)); }
-    for k in [5u32, 6, 7] { report(&CompensatedTruncatedMultiplier::with_mean_compensation(7, k)); }
-    for k in [6u32, 7, 8] { report(&LowerOrMultiplier::new(7, k)); }
-    for t in [3u32, 4, 5, 6] { report(&Recursive2x2Multiplier::new(7, t)); }
+    for d in [2u32, 4, 6] {
+        report(&BrokenTruncatedMultiplier::new(7, 6, d));
+    }
+    for k in [5u32, 6, 7] {
+        report(&CompensatedTruncatedMultiplier::with_mean_compensation(
+            7, k,
+        ));
+    }
+    for k in [6u32, 7, 8] {
+        report(&LowerOrMultiplier::new(7, k));
+    }
+    for t in [3u32, 4, 5, 6] {
+        report(&Recursive2x2Multiplier::new(7, t));
+    }
     println!("== comp sweep ==");
-    for c in [0u32, 300, 600, 896, 1100, 1400] { report(&CompensatedTruncatedMultiplier::new(8, 9, c)); }
-    for c in [448u32, 600, 800, 1000] { report(&CompensatedTruncatedMultiplier::new(8, 8, c)); }
-    for c in [80u32, 130, 190, 240] { report(&CompensatedTruncatedMultiplier::new(7, 7, c)); }
+    for c in [0u32, 300, 600, 896, 1100, 1400] {
+        report(&CompensatedTruncatedMultiplier::new(8, 9, c));
+    }
+    for c in [448u32, 600, 800, 1000] {
+        report(&CompensatedTruncatedMultiplier::new(8, 8, c));
+    }
+    for c in [80u32, 130, 190, 240] {
+        report(&CompensatedTruncatedMultiplier::new(7, 7, c));
+    }
     println!("== 6-bit ==");
     report(&TruncatedMultiplier::new(6, 4));
 }

@@ -38,7 +38,10 @@ pub use truncated::{
 };
 
 pub(crate) fn assert_bits(bits: u32) {
-    assert!((2..=10).contains(&bits), "bits must be in 2..=10, got {bits}");
+    assert!(
+        (2..=10).contains(&bits),
+        "bits must be in 2..=10, got {bits}"
+    );
 }
 
 pub(crate) fn assert_operands(bits: u32, w: u32, x: u32) {

@@ -276,7 +276,10 @@ mod tests {
     #[test]
     fn drum_gate_level_exists_but_is_not_used_for_costing() {
         let drum = SegmentedMultiplier::new(8, 4);
-        assert!(drum.circuit().is_none(), "costing falls back to the paper row");
+        assert!(
+            drum.circuit().is_none(),
+            "costing falls back to the paper row"
+        );
         // The netlist itself is well-formed and non-trivial.
         let c = drum.gate_level();
         assert!(c.netlist().num_physical_gates() > 50);

@@ -217,9 +217,8 @@ impl CompensatedTruncatedMultiplier {
         assert_bits(bits);
         assert!(removed < 2 * bits - 1, "invalid truncation");
         let max_operand = (1u32 << bits) - 1;
-        let worst =
-            pp_sum(bits, max_operand, max_operand, |i, j| i + j >= removed) as u64
-                + compensation as u64;
+        let worst = pp_sum(bits, max_operand, max_operand, |i, j| i + j >= removed) as u64
+            + compensation as u64;
         assert!(
             worst < 1u64 << (2 * bits),
             "compensation {compensation} overflows the output bus"
@@ -260,10 +259,7 @@ impl Multiplier for CompensatedTruncatedMultiplier {
     }
 
     fn name(&self) -> String {
-        format!(
-            "mul{}u_rm{}c{}",
-            self.bits, self.removed, self.compensation
-        )
+        format!("mul{}u_rm{}c{}", self.bits, self.removed, self.compensation)
     }
 
     fn multiply(&self, w: u32, x: u32) -> u32 {
@@ -329,7 +325,9 @@ mod tests {
 
     #[test]
     fn compensated_circuit_matches_behaviour() {
-        assert_circuit_matches(&CompensatedTruncatedMultiplier::with_mean_compensation(6, 5));
+        assert_circuit_matches(&CompensatedTruncatedMultiplier::with_mean_compensation(
+            6, 5,
+        ));
     }
 
     #[test]

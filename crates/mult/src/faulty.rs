@@ -175,7 +175,10 @@ mod tests {
                     .unwrap();
             any_corrupt += faulty.corrupted_entries(&clean);
         }
-        assert!(any_corrupt > 0, "stuck-at-1 somewhere must corrupt products");
+        assert!(
+            any_corrupt > 0,
+            "stuck-at-1 somewhere must corrupt products"
+        );
     }
 
     #[test]
@@ -183,8 +186,7 @@ mod tests {
         let circuit = MultiplierCircuit::array(4);
         let bogus = appmult_circuit::Signal::from_index(100_000);
         assert!(
-            FaultyMultiplier::from_circuit("m", &circuit, &[FaultSpec::stuck_at_0(bogus)])
-                .is_err()
+            FaultyMultiplier::from_circuit("m", &circuit, &[FaultSpec::stuck_at_0(bogus)]).is_err()
         );
     }
 

@@ -160,7 +160,11 @@ mod tests {
         let m = ErrorMetrics::exhaustive(&TruncatedMultiplier::new(8, 8).to_lut());
         assert_eq!(m.max_ed, 1793);
         assert!((m.er_pct() - 98.0).abs() < 0.5, "er = {}", m.er_pct());
-        assert!((m.nmed_pct() - 0.68).abs() < 0.03, "nmed = {}", m.nmed_pct());
+        assert!(
+            (m.nmed_pct() - 0.68).abs() < 0.03,
+            "nmed = {}",
+            m.nmed_pct()
+        );
     }
 
     #[test]
@@ -177,13 +181,17 @@ mod tests {
     fn distribution_weighting_changes_metrics() {
         let lut = TruncatedMultiplier::new(6, 4).to_lut();
         // All mass on one error-free pair (w = 32, x = 32: pp columns >= 10).
-        let metrics = ErrorMetrics::with_distribution(&lut, |w, x| {
-            if w == 32 && x == 32 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let metrics =
+            ErrorMetrics::with_distribution(
+                &lut,
+                |w, x| {
+                    if w == 32 && x == 32 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
         assert_eq!(metrics.error_rate, 0.0);
         assert_eq!(metrics.max_ed, 0);
     }
@@ -201,9 +209,7 @@ mod tests {
             *p /= z;
         }
         let a = ErrorMetrics::with_marginals(&lut, &probs, &probs);
-        let b = ErrorMetrics::with_distribution(&lut, |w, x| {
-            probs[w as usize] * probs[x as usize]
-        });
+        let b = ErrorMetrics::with_distribution(&lut, |w, x| probs[w as usize] * probs[x as usize]);
         assert!((a.nmed - b.nmed).abs() < 1e-15);
         assert_eq!(a.max_ed, b.max_ed);
     }

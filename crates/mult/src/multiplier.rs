@@ -163,7 +163,10 @@ impl MultiplierLut {
     #[inline]
     pub fn product(&self, w: u32, x: u32) -> u32 {
         let b = self.bits;
-        assert!(w < (1 << b) && x < (1 << b), "operands must fit in {b} bits");
+        assert!(
+            w < (1 << b) && x < (1 << b),
+            "operands must fit in {b} bits"
+        );
         self.products[((w as usize) << b) | x as usize]
     }
 
@@ -226,7 +229,13 @@ impl Multiplier for MultiplierLut {
 
 impl fmt::Display for MultiplierLut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}-bit LUT, {} entries)", self.name, self.bits, self.products.len())
+        write!(
+            f,
+            "{} ({}-bit LUT, {} entries)",
+            self.name,
+            self.bits,
+            self.products.len()
+        )
     }
 }
 
@@ -273,9 +282,7 @@ mod tests {
 
     #[test]
     fn from_entries_validates_length() {
-        let r = std::panic::catch_unwind(|| {
-            MultiplierLut::from_entries("bad", 4, vec![0u32; 100])
-        });
+        let r = std::panic::catch_unwind(|| MultiplierLut::from_entries("bad", 4, vec![0u32; 100]));
         assert!(r.is_err());
     }
 

@@ -116,10 +116,7 @@ mod tests {
         for &(w, x) in &[(100i32, 50i32), (100, -50), (-100, 50), (-100, -50)] {
             let y = m.multiply_signed(w, x);
             let expected_sign = (i64::from(w) * i64::from(x)).signum();
-            assert!(
-                y.signum() == expected_sign || y == 0,
-                "{w}*{x} -> {y}"
-            );
+            assert!(y.signum() == expected_sign || y == 0, "{w}*{x} -> {y}");
             // Magnitude is shared across all four quadrants.
             assert_eq!(y.abs(), m.multiply_signed(w.abs(), x.abs()));
         }

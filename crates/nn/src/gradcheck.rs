@@ -50,11 +50,18 @@ fn rel_err(a: f64, b: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if the module's forward pass panics.
-pub fn check_module(module: &mut dyn Module, input: &Tensor, seed: u64, eps: f32) -> GradCheckReport {
+pub fn check_module(
+    module: &mut dyn Module,
+    input: &Tensor,
+    seed: u64,
+    eps: f32,
+) -> GradCheckReport {
     let mut rng = Rng64::seed_from_u64(seed);
     let out0 = module.forward(input, true);
     let coeffs = Tensor::from_vec(
-        (0..out0.len()).map(|_| rng.uniform_f32(-1.0, 1.0)).collect(),
+        (0..out0.len())
+            .map(|_| rng.uniform_f32(-1.0, 1.0))
+            .collect(),
         out0.shape(),
     );
 
@@ -202,7 +209,11 @@ mod tests {
         };
         let x = Tensor::from_vec(vec![0.5, 0.5, -0.5], &[1, 3]);
         let r = check_module(&mut broken, &x, 2, 1e-2);
-        assert!(r.max_rel_err > 0.3, "should detect the 2x bug: {}", r.summary());
+        assert!(
+            r.max_rel_err > 0.3,
+            "should detect the 2x bug: {}",
+            r.summary()
+        );
     }
 
     #[test]

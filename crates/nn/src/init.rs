@@ -53,8 +53,7 @@ mod tests {
     #[test]
     fn kaiming_std_tracks_fan_in() {
         let w = kaiming_normal(&[10000], 50, 1);
-        let var: f32 =
-            w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let var: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
         let expect = 2.0 / 50.0;
         assert!((var - expect).abs() / expect < 0.1, "var {var} vs {expect}");
     }

@@ -41,8 +41,12 @@ impl Conv2dSpec {
     ///
     /// Panics if the configuration yields an empty output.
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).checked_sub(self.kernel).map(|v| v / self.stride + 1);
-        let ow = (w + 2 * self.padding).checked_sub(self.kernel).map(|v| v / self.stride + 1);
+        let oh = (h + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .map(|v| v / self.stride + 1);
+        let ow = (w + 2 * self.padding)
+            .checked_sub(self.kernel)
+            .map(|v| v / self.stride + 1);
         match (oh, ow) {
             (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
             _ => panic!("convolution output is empty for input {h}x{w} with {self:?}"),
@@ -286,7 +290,7 @@ impl Module for Conv2d {
         let cols = self.cols.as_ref().expect("backward before forward");
         let (n, h, w) = self.input_hw;
         let g_rows = nchw_to_rows(grad_out); // [M, Cout]
-        // dW = g^T @ cols, db = column sums of g.
+                                             // dW = g^T @ cols, db = column sums of g.
         let gt = g_rows.transpose2d(); // [Cout, M]
         let dw = gt.matmul(cols); // [Cout, K]
         self.weight.grad.add_scaled(&dw, 1.0);
@@ -330,18 +334,15 @@ mod tests {
                         for ci in 0..c {
                             for ky in 0..k {
                                 for kx in 0..k {
-                                    let iy = (oy * spec.stride + ky) as isize
-                                        - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize
-                                        - spec.padding as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                                    {
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
-                                    let wv =
-                                        weight.at(&[o, ci * k * k + ky * k + kx]);
-                                    acc += wv
-                                        * input.at(&[ni, ci, iy as usize, ix as usize]);
+                                    let wv = weight.at(&[o, ci * k * k + ky * k + kx]);
+                                    acc += wv * input.at(&[ni, ci, iy as usize, ix as usize]);
                                 }
                             }
                         }
@@ -356,7 +357,9 @@ mod tests {
     fn ramp(shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
         Tensor::from_vec(
-            (0..n).map(|i| ((i * 7919) % 23) as f32 / 23.0 - 0.4).collect(),
+            (0..n)
+                .map(|i| ((i * 7919) % 23) as f32 / 23.0 - 0.4)
+                .collect(),
             shape,
         )
     }

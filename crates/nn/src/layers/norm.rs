@@ -149,11 +149,15 @@ impl Module for BatchNorm2d {
                 }
             }
         }
-        self.beta.grad.as_mut_slice()
+        self.beta
+            .grad
+            .as_mut_slice()
             .iter_mut()
             .zip(&sum_g)
             .for_each(|(d, &v)| *d += v);
-        self.gamma.grad.as_mut_slice()
+        self.gamma
+            .grad
+            .as_mut_slice()
             .iter_mut()
             .zip(&sum_gx)
             .for_each(|(d, &v)| *d += v);

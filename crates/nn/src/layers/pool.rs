@@ -44,7 +44,10 @@ impl Module for MaxPool2d {
         let s = input.shape();
         assert_eq!(s.len(), 4, "expected NCHW input");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-        assert!(h >= self.kernel && w >= self.kernel, "input smaller than window");
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "input smaller than window"
+        );
         let oh = (h - self.kernel) / self.stride + 1;
         let ow = (w - self.kernel) / self.stride + 1;
         let data = input.as_slice();
@@ -183,7 +186,10 @@ impl Module for AvgPool2d {
         let s = input.shape();
         assert_eq!(s.len(), 4, "expected NCHW input");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-        assert!(h >= self.kernel && w >= self.kernel, "input smaller than window");
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "input smaller than window"
+        );
         let oh = (h - self.kernel) / self.stride + 1;
         let ow = (w - self.kernel) / self.stride + 1;
         let inv = 1.0 / (self.kernel * self.kernel) as f32;
@@ -232,10 +238,8 @@ impl Module for AvgPool2d {
                         let gv = g[((ni * c + ci) * oh + oy) * ow + ox] * inv;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                dx[base
-                                    + (oy * self.stride + ky) * w
-                                    + ox * self.stride
-                                    + kx] += gv;
+                                dx[base + (oy * self.stride + ky) * w + ox * self.stride + kx] +=
+                                    gv;
                             }
                         }
                     }
@@ -308,7 +312,9 @@ mod tests {
         let mut pool = MaxPool2d::new(2, 2);
         // Distinct values avoid tie-breaking kinks.
         let x = Tensor::from_vec(
-            (0..32).map(|i| ((i * 37) % 32) as f32 * 0.37 - 3.0).collect(),
+            (0..32)
+                .map(|i| ((i * 37) % 32) as f32 * 0.37 - 3.0)
+                .collect(),
             &[1, 2, 4, 4],
         );
         let report = crate::gradcheck::check_module(&mut pool, &x, 5, 1e-3);

@@ -109,15 +109,9 @@ mod tests {
         condition(&mut hidden, 1.5);
         let mut out = Linear::new(4, 4, 2);
         condition(&mut out, 2.5);
-        let main = Sequential::new()
-            .push(hidden)
-            .push(Relu::new())
-            .push(out);
+        let main = Sequential::new().push(hidden).push(Relu::new()).push(out);
         let mut block = Residual::new(main);
-        let x = Tensor::from_vec(
-            (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect(),
-            &[2, 4],
-        );
+        let x = Tensor::from_vec((0..8).map(|i| (i as f32) * 0.3 - 1.0).collect(), &[2, 4]);
         let report = crate::gradcheck::check_module(&mut block, &x, 55, 1e-2);
         assert!(report.max_rel_err < 0.03, "{}", report.summary());
     }

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let mut logits = Tensor::from_vec(
-            vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4],
-            &[2, 3],
-        );
+        let mut logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4], &[2, 3]);
         let labels = [2usize, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3;
@@ -119,7 +116,10 @@ mod tests {
 
     #[test]
     fn softmax_rows_are_distributions() {
-        let p = softmax(&Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let p = softmax(&Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+            &[2, 3],
+        ));
         for row in p.as_slice().chunks(3) {
             let s: f32 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-6);

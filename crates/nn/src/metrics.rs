@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn top5_is_at_least_top1() {
-        let logits = Tensor::from_vec(
-            (0..30).map(|i| ((i * 17) % 13) as f32).collect(),
-            &[3, 10],
-        );
+        let logits = Tensor::from_vec((0..30).map(|i| ((i * 17) % 13) as f32).collect(), &[3, 10]);
         let labels = [4usize, 9, 0];
         let t1 = top_k_accuracy(&logits, &labels, 1);
         let t5 = top_k_accuracy(&logits, &labels, 5);

@@ -71,7 +71,10 @@ pub fn load_params<R: Read>(module: &mut dyn Module, mut r: R) -> io::Result<()>
     if shapes.len() != count {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("checkpoint has {count} parameters, module has {}", shapes.len()),
+            format!(
+                "checkpoint has {count} parameters, module has {}",
+                shapes.len()
+            ),
         ));
     }
     let mut tensors = Vec::with_capacity(count);

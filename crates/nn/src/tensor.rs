@@ -200,11 +200,7 @@ impl Tensor {
     /// Panics if lengths differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "length mismatch in dot");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// 2-D matrix multiplication: `[m, k] x [k, n] -> [m, n]`.

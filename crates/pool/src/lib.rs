@@ -1,0 +1,283 @@
+//! Zero-dependency scoped data parallelism for the workspace's hot loops.
+//!
+//! The LUT-GEMM kernels, gradient-table builds, and exhaustive circuit
+//! simulations all share one shape: a large output buffer whose rows can be
+//! computed independently from shared read-only inputs. [`Pool::run_rows`]
+//! partitions such a buffer into contiguous, *disjoint* `&mut` chunks — one
+//! per worker — and runs them under [`std::thread::scope`]. Because every
+//! output element is written by exactly one worker and each worker iterates
+//! its rows in the same order as the serial loop, results are bit-identical
+//! to a serial run regardless of the thread count; no atomics, no locks, no
+//! floating-point reassociation.
+//!
+//! The pool is *scoped*, not persistent: threads are spawned per call and
+//! joined before the call returns, so borrowed inputs need no `'static`
+//! lifetimes and a panicking worker propagates to the caller. Spawn cost is
+//! tens of microseconds, negligible against the `O(M·J·K)` loops it covers.
+//!
+//! Thread count resolution for [`Pool::global`], in order:
+//!
+//! 1. [`set_global_threads`] override (used by benchmarks),
+//! 2. the `APPMULT_THREADS` environment variable (a positive integer;
+//!    `1` forces fully serial execution),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! On a 1-core host — or with `APPMULT_THREADS=1` — every entry point
+//! degrades to a plain serial loop on the calling thread with no spawns.
+//!
+//! # Example
+//!
+//! ```
+//! use appmult_pool::Pool;
+//!
+//! // 4 rows of 3 columns; each worker fills its own rows.
+//! let mut out = vec![0usize; 12];
+//! Pool::new(4).run_rows(&mut out, 3, |first_row, chunk| {
+//!     for (r, row) in chunk.chunks_mut(3).enumerate() {
+//!         for (c, v) in row.iter_mut().enumerate() {
+//!             *v = (first_row + r) * 10 + c;
+//!         }
+//!     }
+//! });
+//! assert_eq!(out[3..6], [10, 11, 12]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Name of the environment variable that pins the worker count.
+pub const THREADS_ENV: &str = "APPMULT_THREADS";
+
+/// Process-wide override installed by [`set_global_threads`]
+/// (0 = no override).
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fixed worker count for scoped data-parallel loops.
+///
+/// `Pool` is a tiny value type (it owns no threads); copy it freely. Use
+/// [`Pool::global`] for production paths and [`Pool::new`] where an explicit
+/// count is needed (parity tests, benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-worker pool: every call runs serially on the caller.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The pool configured by the environment: the [`set_global_threads`]
+    /// override if installed, else `APPMULT_THREADS`, else
+    /// [`std::thread::available_parallelism`].
+    pub fn global() -> Self {
+        let o = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+        if o > 0 {
+            return Self::new(o);
+        }
+        Self::new(threads_from_env(std::env::var(THREADS_ENV).ok().as_deref()))
+    }
+
+    /// Worker count of this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `out` into one contiguous chunk of whole rows per worker and
+    /// runs `f(first_row_index, chunk)` on each chunk in parallel.
+    ///
+    /// Rows are `row_len` elements long and are distributed as evenly as
+    /// possible (the first `rows % workers` chunks get one extra row), in
+    /// order, so chunk boundaries — and therefore per-element evaluation
+    /// order — never depend on the worker count. With one worker (or fewer
+    /// than two rows) `f` runs once, inline, on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len` is zero or does not divide `out.len()`, or if
+    /// any worker panics.
+    pub fn run_rows<T, F>(&self, out: &mut [T], row_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(
+            out.len() % row_len,
+            0,
+            "buffer length {} is not a whole number of rows of {row_len}",
+            out.len()
+        );
+        let rows = out.len() / row_len;
+        let workers = self.threads.min(rows).max(1);
+        if workers == 1 {
+            if rows > 0 {
+                f(0, out);
+            }
+            return;
+        }
+        let base = rows / workers;
+        let extra = rows % workers;
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            let mut first_row = 0usize;
+            for w in 0..workers {
+                let chunk_rows = base + usize::from(w < extra);
+                let (chunk, tail) = rest.split_at_mut(chunk_rows * row_len);
+                rest = tail;
+                let start = first_row;
+                first_row += chunk_rows;
+                let f = &f;
+                if w + 1 == workers {
+                    // Run the final chunk on the calling thread; the scope
+                    // still joins the spawned workers before returning.
+                    f(start, chunk);
+                } else {
+                    scope.spawn(move || f(start, chunk));
+                }
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::global()
+    }
+}
+
+/// Installs a process-wide worker-count override that takes precedence over
+/// `APPMULT_THREADS` (pass 0 to remove it). Intended for benchmark harnesses
+/// that flip between serial and parallel runs of code using [`Pool::global`];
+/// tests that need a specific count should construct [`Pool::new`] instead.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Resolves a worker count from an `APPMULT_THREADS`-style value: a positive
+/// integer is taken as-is; anything else (unset, empty, `0`, garbage) falls
+/// back to [`std::thread::available_parallelism`].
+fn threads_from_env(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Every row is written exactly once, with the right first-row offset.
+    #[test]
+    fn run_rows_covers_every_row_exactly_once() {
+        for threads in [1, 2, 3, 4, 7, 16] {
+            for rows in [0usize, 1, 2, 3, 5, 16, 31] {
+                let row_len = 3;
+                let mut out = vec![usize::MAX; rows * row_len];
+                Pool::new(threads).run_rows(&mut out, row_len, |first, chunk| {
+                    for (r, row) in chunk.chunks_mut(row_len).enumerate() {
+                        for v in row.iter_mut() {
+                            assert_eq!(*v, usize::MAX, "row written twice");
+                            *v = first + r;
+                        }
+                    }
+                });
+                let expect: Vec<usize> = (0..rows)
+                    .flat_map(|r| std::iter::repeat_n(r, row_len))
+                    .collect();
+                assert_eq!(out, expect, "threads={threads} rows={rows}");
+            }
+        }
+    }
+
+    /// The partition is independent of the worker count, so a parallel fill
+    /// is bit-identical to the serial one.
+    #[test]
+    fn parallel_fill_matches_serial() {
+        let fill = |pool: Pool| {
+            let mut out = vec![0.0f32; 13 * 7];
+            pool.run_rows(&mut out, 7, |first, chunk| {
+                for (r, row) in chunk.chunks_mut(7).enumerate() {
+                    let mut acc = (first + r) as f32 * 0.1;
+                    for (c, v) in row.iter_mut().enumerate() {
+                        acc += (c as f32 + 0.3).sin();
+                        *v = acc;
+                    }
+                }
+            });
+            out
+        };
+        let serial = fill(Pool::serial());
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(fill(Pool::new(threads)), serial, "threads={threads}");
+        }
+    }
+
+    /// More workers than rows clamps; one worker never spawns (observable as
+    /// `f` running on the calling thread).
+    #[test]
+    fn serial_pool_runs_inline() {
+        let caller = std::thread::current().id();
+        let mut out = vec![0u8; 4];
+        Pool::serial().run_rows(&mut out, 1, |_, _| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    /// Workers actually run concurrently when asked to (the spawned chunks
+    /// exist as distinct invocations).
+    #[test]
+    fn chunk_count_matches_worker_clamp() {
+        let calls = AtomicUsize::new(0);
+        let mut out = vec![0u8; 10];
+        Pool::new(4).run_rows(&mut out, 1, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        // Clamp: 3 rows can use at most 3 workers.
+        calls.store(0, Ordering::Relaxed);
+        let mut small = vec![0u8; 3];
+        Pool::new(16).run_rows(&mut small, 1, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn env_parsing_falls_back_on_garbage() {
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 8 ")), 8);
+        let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(threads_from_env(None), fallback);
+        assert_eq!(threads_from_env(Some("")), fallback);
+        assert_eq!(threads_from_env(Some("0")), fallback);
+        assert_eq!(threads_from_env(Some("lots")), fallback);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_buffer_is_rejected() {
+        let mut out = vec![0u8; 7];
+        Pool::new(2).run_rows(&mut out, 3, |_, _| {});
+    }
+
+    #[test]
+    fn global_override_wins() {
+        set_global_threads(5);
+        assert_eq!(Pool::global().threads(), 5);
+        set_global_threads(0);
+        assert!(Pool::global().threads() >= 1);
+    }
+}

@@ -67,10 +67,7 @@ impl Rng64 {
 
     /// Next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -102,7 +99,10 @@ impl Rng64 {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range {lo}..{hi}");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range {lo}..{hi}"
+        );
         lo + self.next_f64() * (hi - lo)
     }
 
@@ -112,7 +112,10 @@ impl Rng64 {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform_f32(&mut self, lo: f32, hi: f32) -> f32 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range {lo}..{hi}");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range {lo}..{hi}"
+        );
         lo + self.next_f32() * (hi - lo)
     }
 

@@ -54,5 +54,9 @@ fn main() {
     // The synthesized LUTs drop straight into the retraining framework via
     // appmult::mult::SynthesizedMultiplier or MultiplierLut::from_entries.
     let syn = appmult::mult::SynthesizedMultiplier::generate(bits, 0.0028, 1);
-    println!("\nready-made Table I entry: {} (NMED {:.3}%)", syn.name(), syn.nmed() * 100.0);
+    println!(
+        "\nready-made Table I entry: {} (NMED {:.3}%)",
+        syn.name(),
+        syn.nmed() * 100.0
+    );
 }

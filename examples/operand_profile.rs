@@ -24,7 +24,17 @@ fn main() {
     let grads = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(16)));
 
     // A conv layer fed with realistic (image-like) activations.
-    let mut conv = ApproxConv2d::new(3, 16, 3, 1, 1, 7, lut.clone(), grads, QuantConfig::default());
+    let mut conv = ApproxConv2d::new(
+        3,
+        16,
+        3,
+        1,
+        1,
+        7,
+        lut.clone(),
+        grads,
+        QuantConfig::default(),
+    );
     let data = SyntheticDataset::generate(&DatasetConfig::small(10, 16, 4));
     let (images, _) = &data.train_batches(32)[0];
     let _ = conv.forward(images, true);

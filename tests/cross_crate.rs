@@ -34,7 +34,10 @@ fn zoo_luts_feed_gradient_builder_at_every_bitwidth() {
     for name in ["mul6u_rm4", "mul7u_rm6", "mul8u_rm8"] {
         let entry = zoo::entry(name).expect("known");
         let lut = entry.multiplier.to_lut();
-        let g = GradientLut::build(&lut, GradientMode::difference_based(entry.recommended_hws()));
+        let g = GradientLut::build(
+            &lut,
+            GradientMode::difference_based(entry.recommended_hws()),
+        );
         assert_eq!(g.bits(), lut.bits());
         // Spot-check: gradients are finite everywhere.
         let n = 1u32 << lut.bits();

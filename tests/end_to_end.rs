@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use appmult::data::{DatasetConfig, SyntheticDataset};
-use appmult::models::{copy_params, lenet5, resnet, vgg, ConvMode, ModelConfig, ResNetDepth, VggDepth};
+use appmult::models::{
+    copy_params, lenet5, resnet, vgg, ConvMode, ModelConfig, ResNetDepth, VggDepth,
+};
 use appmult::mult::{zoo, Multiplier};
 use appmult::nn::optim::{Adam, StepSchedule};
 use appmult::nn::Module;
@@ -121,13 +123,18 @@ fn ste_and_ours_share_identical_forward_behaviour() {
     };
     let build = |mode: GradientMode| {
         let grads = Arc::new(GradientLut::build(&lut, mode));
-        lenet5(&cfg.clone().with_conv(ConvMode::approximate(lut.clone(), grads)))
+        lenet5(
+            &cfg.clone()
+                .with_conv(ConvMode::approximate(lut.clone(), grads)),
+        )
     };
     let mut ste = build(GradientMode::Ste);
     let mut ours = build(GradientMode::difference_based(2));
     // Same seeds => same initial weights.
     let x = Tensor::from_vec(
-        (0..768).map(|i| ((i * 13) % 31) as f32 / 15.0 - 1.0).collect(),
+        (0..768)
+            .map(|i| ((i * 13) % 31) as f32 / 15.0 - 1.0)
+            .collect(),
         &[1, 3, 16, 16],
     );
     let ya = ste.forward(&x, true);

@@ -1,6 +1,5 @@
 //! Integration tests for the beyond-the-paper extensions.
 
-
 use appmult::circuit::{to_blif, to_verilog, MultiplierCircuit};
 use appmult::mult::{
     CompressorMultiplier, ErrorMetrics, Multiplier, SignMagnitudeMultiplier, TruncatedMultiplier,
