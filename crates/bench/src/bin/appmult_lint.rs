@@ -1,0 +1,86 @@
+//! `appmult-lint`: static verification sweep over the multiplier zoo.
+//!
+//! Runs every `appmult-verify` pass — structural netlist lints, miter
+//! equivalence against the exact array multiplier, LUT metric sanity, and
+//! Eq. 5/6 gradient consistency — over all Table I designs (including the
+//! cached `_syn` synthesis results) plus deliberately faulty negative
+//! controls. Prints a human-readable table, writes the machine-readable
+//! report to `results/LINT.json`, and exits nonzero if any design carries
+//! an error diagnostic.
+//!
+//! ```text
+//! cargo run --release -p appmult-bench --bin appmult-lint
+//! ```
+
+use std::process::ExitCode;
+
+use appmult_bench::{markdown_table, write_results};
+use appmult_verify::{lint_zoo, MultiplierEquiv, Severity};
+
+fn main() -> ExitCode {
+    let report = lint_zoo();
+
+    let rows: Vec<Vec<String>> = report
+        .designs
+        .iter()
+        .map(|d| {
+            let equivalence = match &d.equivalence {
+                Some(MultiplierEquiv::Equivalent {
+                    patterns,
+                    exhaustive: true,
+                }) => format!("equivalent (proved, {patterns} patterns)"),
+                Some(MultiplierEquiv::Equivalent {
+                    patterns,
+                    exhaustive: false,
+                }) => format!("equivalent (sampled, {patterns} patterns)"),
+                Some(MultiplierEquiv::Counterexample(c)) => format!("differs: {c}"),
+                None => "-".to_string(),
+            };
+            vec![
+                d.name.clone(),
+                d.bits.to_string(),
+                d.kind.as_str().to_string(),
+                d.error_count().to_string(),
+                d.warning_count().to_string(),
+                equivalence,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "design",
+                "bits",
+                "kind",
+                "errors",
+                "warnings",
+                "equivalence vs exact"
+            ],
+            &rows
+        )
+    );
+
+    for d in &report.designs {
+        for diag in &d.diagnostics {
+            if diag.severity >= Severity::Warning {
+                println!("{}: {diag}", d.name);
+            }
+        }
+    }
+
+    let path = write_results("LINT.json", &report.to_json());
+    println!(
+        "\n{} designs, {} errors, {} warnings -> {}",
+        report.designs.len(),
+        report.error_count(),
+        report.warning_count(),
+        path.display()
+    );
+
+    if report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

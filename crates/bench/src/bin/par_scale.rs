@@ -63,7 +63,7 @@ fn main() {
     let args = Args::from_env();
     let threads = args.get_or("threads", Pool::global().threads().max(4));
     let reps = args.get_or("reps", 5usize);
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("par_scale: {threads} threads vs serial, best of {reps} (host parallelism {host})");
 
     let lut = Arc::new(TruncatedMultiplier::new(8, 6).to_lut());

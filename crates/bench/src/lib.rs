@@ -12,6 +12,7 @@
 //! | `hws_select` | Table I HWS column — the Sec. V-A selection sweep |
 //! | `fault_sweep` | Retraining accuracy vs injected hardware fault count |
 //! | `par_scale` | Serial-vs-parallel throughput of the LUT kernels |
+//! | `appmult-lint` | Static verification sweep over the zoo (`results/LINT.json`) |
 //!
 //! All experiments run on deterministic synthetic data (see
 //! `appmult-data`) at a CPU-friendly scale by default; pass `--full` for

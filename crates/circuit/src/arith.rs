@@ -200,7 +200,7 @@ impl MultiplierCircuit {
     /// Exhaustively extracts the product table in the workspace LUT
     /// convention: entry `(w << bits) | x` holds the product of `w` and `x`.
     pub fn exhaustive_products(&self) -> Vec<u64> {
-        self.reorder_to_lut(ExhaustiveTable::build(&self.netlist))
+        self.reorder_to_lut(&ExhaustiveTable::build(&self.netlist))
     }
 
     /// Like [`MultiplierCircuit::exhaustive_products`], but with the given
@@ -216,12 +216,12 @@ impl MultiplierCircuit {
         faults: &[crate::fault::FaultSpec],
     ) -> Result<Vec<u64>, NetlistError> {
         let table = crate::fault::exhaustive_table_faulted(&self.netlist, faults)?;
-        Ok(self.reorder_to_lut(table))
+        Ok(self.reorder_to_lut(&table))
     }
 
     /// Re-orders a raw simulation table (w in low bits, x in high bits) into
     /// the LUT convention `(w << bits) | x`.
-    fn reorder_to_lut(&self, table: ExhaustiveTable) -> Vec<u64> {
+    fn reorder_to_lut(&self, table: &ExhaustiveTable) -> Vec<u64> {
         let b = self.bits;
         let n = 1usize << b;
         let mut lut = vec![0u64; n * n];

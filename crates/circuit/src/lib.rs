@@ -44,5 +44,5 @@ pub use export::{to_blif, to_verilog};
 pub use fault::{
     exhaustive_table_faulted, fault_sites, simulate_words_faulted, FaultKind, FaultSpec,
 };
-pub use netlist::{GateKind, Netlist, NetlistError, Signal};
+pub use netlist::{Gate, GateKind, Netlist, NetlistError, Signal};
 pub use sim::{simulate_bools, simulate_words, ExhaustiveTable};

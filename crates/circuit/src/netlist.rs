@@ -21,7 +21,8 @@ impl Signal {
 
     /// Reconstructs a signal from a raw node index (e.g. a fault site read
     /// from a sweep configuration). The index is validated only when the
-    /// signal is used against a concrete netlist.
+    /// signal is used against a concrete netlist; prefer
+    /// [`Netlist::signal_from_index`] when the target netlist is at hand.
     pub fn from_index(index: usize) -> Self {
         Self(index as u32)
     }
@@ -126,6 +127,13 @@ pub enum NetlistError {
         /// The replacement signal in its transitive fanout.
         replacement: Signal,
     },
+    /// A fanin slot index is not valid for the gate's kind.
+    ArityExceeded {
+        /// The gate being rewired.
+        gate: Signal,
+        /// The requested fanin slot.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -140,6 +148,9 @@ impl fmt::Display for NetlistError {
                     f,
                     "replacing {gate} with {replacement} would create a cycle"
                 )
+            }
+            NetlistError::ArityExceeded { gate, slot } => {
+                write!(f, "gate {gate} has no fanin slot {slot}")
             }
         }
     }
@@ -212,6 +223,36 @@ impl Netlist {
     /// Panics if `signal` does not belong to this netlist.
     pub fn gate(&self, signal: Signal) -> Gate {
         self.gates[signal.index()]
+    }
+
+    /// Non-panicking variant of [`Netlist::gate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if `signal` is out of range
+    /// for this netlist (e.g. a [`Signal::from_index`] value read from an
+    /// external file, or a signal created by a different netlist).
+    pub fn try_gate(&self, signal: Signal) -> Result<Gate, NetlistError> {
+        self.gates
+            .get(signal.index())
+            .copied()
+            .ok_or(NetlistError::UnknownSignal(signal))
+    }
+
+    /// Reconstructs a signal from a raw node index, validated against this
+    /// netlist. This is the checked counterpart of [`Signal::from_index`]
+    /// for deserializing fault sites or lint locations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if `index` exceeds the node
+    /// table.
+    pub fn signal_from_index(&self, index: usize) -> Result<Signal, NetlistError> {
+        if index < self.gates.len() {
+            Ok(Signal(index as u32))
+        } else {
+            Err(NetlistError::UnknownSignal(Signal::from_index(index)))
+        }
     }
 
     /// Iterates over all nodes in topological order together with their signals.
@@ -297,10 +338,81 @@ impl Netlist {
     ///
     /// Panics if any signal does not belong to this netlist.
     pub fn set_outputs(&mut self, outputs: Vec<Signal>) {
+        self.try_set_outputs(outputs)
+            .unwrap_or_else(|e| panic!("unknown output signal: {e}"));
+    }
+
+    /// Non-panicking variant of [`Netlist::set_outputs`]. On error the
+    /// previous output registration is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] naming the first output that
+    /// does not belong to this netlist.
+    pub fn try_set_outputs(&mut self, outputs: Vec<Signal>) -> Result<(), NetlistError> {
         for &o in &outputs {
-            assert!(o.index() < self.gates.len(), "unknown output signal {o}");
+            if o.index() >= self.gates.len() {
+                return Err(NetlistError::UnknownSignal(o));
+            }
         }
         self.outputs = outputs;
+        Ok(())
+    }
+
+    /// Rewires one fanin slot of an existing gate.
+    ///
+    /// Both signals are bounds-checked against this netlist, but the new
+    /// fanin is **not** required to precede the gate in topological order:
+    /// synthesis passes and netlist importers may legitimately pass through
+    /// states that violate the invariant. Run [`Netlist::validate`] (or the
+    /// `appmult-verify` structural lints, which also detect the resulting
+    /// combinational cycles) before simulating a rewired netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if either signal is out of
+    /// range or `gate` is a primary input, and
+    /// [`NetlistError::ArityExceeded`] if `slot` is not a fanin slot of the
+    /// gate's kind.
+    pub fn set_fanin(
+        &mut self,
+        gate: Signal,
+        slot: usize,
+        fanin: Signal,
+    ) -> Result<(), NetlistError> {
+        let idx = gate.index();
+        if idx >= self.gates.len() || self.gates[idx].kind == GateKind::Input {
+            return Err(NetlistError::UnknownSignal(gate));
+        }
+        if fanin.index() >= self.gates.len() {
+            return Err(NetlistError::UnknownSignal(fanin));
+        }
+        if slot >= self.gates[idx].kind.arity() {
+            return Err(NetlistError::ArityExceeded { gate, slot });
+        }
+        self.gates[idx].fanins[slot] = fanin;
+        // Single-fanin gates keep both slots aligned (builder convention).
+        if self.gates[idx].kind.arity() == 1 {
+            self.gates[idx].fanins[1] = fanin;
+        }
+        Ok(())
+    }
+
+    /// Assembles a netlist directly from raw parts, e.g. when importing an
+    /// externally generated design.
+    ///
+    /// **No validation is performed**: the gate table may contain forward
+    /// references (combinational cycles), dangling fanins, or an input list
+    /// inconsistent with the `Input` nodes. Callers must run
+    /// [`Netlist::validate`] or the `appmult-verify` structural lints before
+    /// trusting the result; the simulator's behaviour on an invalid netlist
+    /// is unspecified (but memory-safe).
+    pub fn from_raw_parts(gates: Vec<Gate>, inputs: Vec<Signal>, outputs: Vec<Signal>) -> Self {
+        Self {
+            gates,
+            inputs,
+            outputs,
+        }
     }
 
     /// Builds a half adder over `(a, b)`, returning `(sum, carry)`.
@@ -370,6 +482,25 @@ impl Netlist {
             fanins: [replacement, replacement],
         };
         Ok(())
+    }
+
+    /// Number of gate fanin slots each signal drives.
+    ///
+    /// Primary outputs are not counted — a fanout-free signal that is
+    /// registered as an output is still observable. Fanin slots referencing
+    /// out-of-range signals (possible after [`Netlist::from_raw_parts`]) are
+    /// skipped; the `appmult-verify` structural lints report those
+    /// separately.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.gates.len()];
+        for g in &self.gates {
+            for k in 0..g.kind.arity() {
+                if let Some(c) = counts.get_mut(g.fanins[k].index()) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
     }
 
     /// Marks the cone of logic reachable from the outputs.
@@ -514,6 +645,98 @@ mod tests {
         nl.set_outputs(vec![s, co]);
         // 2 XOR + 2 AND + 1 OR
         assert_eq!(nl.num_physical_gates(), 5);
+    }
+
+    #[test]
+    fn try_gate_rejects_foreign_signals() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        assert_eq!(nl.try_gate(a).unwrap().kind, GateKind::Input);
+        let foreign = Signal::from_index(7);
+        assert_eq!(
+            nl.try_gate(foreign),
+            Err(NetlistError::UnknownSignal(foreign))
+        );
+    }
+
+    #[test]
+    fn signal_from_index_validates_range() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let g = nl.and(a, b);
+        assert_eq!(nl.signal_from_index(2), Ok(g));
+        assert!(matches!(
+            nl.signal_from_index(3),
+            Err(NetlistError::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn try_set_outputs_keeps_previous_registration_on_error() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let g = nl.or(a, b);
+        nl.set_outputs(vec![g]);
+        let err = nl.try_set_outputs(vec![g, Signal::from_index(99)]);
+        assert!(err.is_err());
+        assert_eq!(nl.outputs(), &[g]);
+    }
+
+    #[test]
+    fn set_fanin_rewires_and_validates() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let g = nl.and(a, b);
+        nl.set_outputs(vec![g]);
+        nl.set_fanin(g, 1, c).unwrap();
+        assert_eq!(nl.gate(g).fanins, [a, c]);
+        // Input gates cannot be rewired; slots beyond arity are rejected.
+        assert!(matches!(
+            nl.set_fanin(a, 0, b),
+            Err(NetlistError::UnknownSignal(_))
+        ));
+        assert!(matches!(
+            nl.set_fanin(g, 2, a),
+            Err(NetlistError::ArityExceeded { .. })
+        ));
+        assert!(matches!(
+            nl.set_fanin(g, 0, Signal::from_index(50)),
+            Err(NetlistError::UnknownSignal(_))
+        ));
+        // Forward references are allowed (validate() reports them).
+        let h = nl.not(g);
+        nl.set_fanin(g, 0, h).unwrap();
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::ForwardReference { .. })
+        ));
+    }
+
+    #[test]
+    fn single_fanin_rewire_keeps_slots_aligned() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let inv = nl.not(a);
+        nl.set_fanin(inv, 0, b).unwrap();
+        assert_eq!(nl.gate(inv).fanins, [b, b]);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_builder_output() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let g = nl.xor(a, b);
+        nl.set_outputs(vec![g]);
+        let gates: Vec<Gate> = nl.iter().map(|(_, g)| g).collect();
+        let raw = Netlist::from_raw_parts(gates, vec![a, b], vec![g]);
+        assert_eq!(raw, nl);
+        assert!(raw.validate().is_ok());
     }
 
     #[test]

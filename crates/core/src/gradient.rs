@@ -19,6 +19,7 @@
 //! memory, and the framework accepts arbitrary user-defined tables through
 //! [`GradientMode::Custom`].
 
+use std::fmt;
 use std::sync::Arc;
 
 use appmult_mult::MultiplierLut;
@@ -221,7 +222,88 @@ impl GradientLut {
     pub fn wrt_x_table(&self) -> &Arc<Vec<f32>> {
         &self.wrt_x
     }
+
+    /// Statically validates the tables before they enter the training loop.
+    ///
+    /// A single NaN/Inf entry silently poisons every gradient that flows
+    /// through the operand pair, so the approximate layers
+    /// ([`crate::ApproxConv2d`], [`crate::ApproxLinear`]) call this hook at
+    /// construction time; the `appmult-verify` crate runs the same check
+    /// (plus Eq. 5/6 consistency) as part of the zoo lint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradientLutError::NonFinite`] locating the first NaN or
+    /// infinite entry, or [`GradientLutError::LengthMismatch`] if a custom
+    /// table does not have `2^(2B)` entries.
+    pub fn validate(&self) -> Result<(), GradientLutError> {
+        let expected = 1usize << (2 * self.bits);
+        for (table, name) in [(&self.wrt_w, "wrt_w"), (&self.wrt_x, "wrt_x")] {
+            if table.len() != expected {
+                return Err(GradientLutError::LengthMismatch {
+                    table: name,
+                    expected,
+                    got: table.len(),
+                });
+            }
+            if let Some(idx) = table.iter().position(|v| !v.is_finite()) {
+                let w = (idx >> self.bits) as u32;
+                let x = (idx as u32) & ((1 << self.bits) - 1);
+                return Err(GradientLutError::NonFinite {
+                    table: name,
+                    w,
+                    x,
+                    value: table[idx],
+                });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Error found by [`GradientLut::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradientLutError {
+    /// A table entry is NaN or infinite.
+    NonFinite {
+        /// Which table (`"wrt_w"` or `"wrt_x"`).
+        table: &'static str,
+        /// First offending weight operand.
+        w: u32,
+        /// First offending activation operand.
+        x: u32,
+        /// The offending value.
+        value: f32,
+    },
+    /// A table does not have `2^(2B)` entries.
+    LengthMismatch {
+        /// Which table (`"wrt_w"` or `"wrt_x"`).
+        table: &'static str,
+        /// Expected entry count.
+        expected: usize,
+        /// Actual entry count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GradientLutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradientLutError::NonFinite { table, w, x, value } => {
+                write!(f, "{table}[w={w}, x={x}] is non-finite ({value})")
+            }
+            GradientLutError::LengthMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(f, "{table} has {got} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GradientLutError {}
 
 /// How boundary operands (outside the Eq. 5 domain) are handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -505,6 +587,41 @@ mod tests {
                     mode.label()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_builtin_mode() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        for mode in [
+            GradientMode::Ste,
+            GradientMode::difference_based(4),
+            GradientMode::RawDifference,
+            GradientMode::DifferenceEdgeClamped { hws: 2 },
+        ] {
+            let g = GradientLut::build(&lut, mode);
+            assert_eq!(g.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_locates_non_finite_entries() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let mut bad = vec![1.0f32; 256];
+        bad[(3 << 4) | 7] = f32::NAN;
+        let g = GradientLut::build(
+            &lut,
+            GradientMode::Custom {
+                wrt_w: Arc::new(vec![1.0; 256]),
+                wrt_x: Arc::new(bad),
+            },
+        );
+        match g.validate() {
+            Err(GradientLutError::NonFinite { table, w, x, .. }) => {
+                assert_eq!(table, "wrt_x");
+                assert_eq!((w, x), (3, 7));
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
         }
     }
 

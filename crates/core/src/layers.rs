@@ -279,8 +279,10 @@ impl ApproxConv2d {
     ///
     /// # Panics
     ///
-    /// Panics if the weight/bias shapes do not match `spec`, or if the
-    /// product and gradient LUT bit widths disagree.
+    /// Panics if the weight/bias shapes do not match `spec`, if the product
+    /// and gradient LUT bit widths disagree, or if the gradient tables fail
+    /// [`GradientLut::validate`] (a NaN/Inf entry would silently corrupt
+    /// every gradient flowing through the layer).
     pub fn with_params(
         spec: Conv2dSpec,
         weight: Tensor,
@@ -296,6 +298,9 @@ impl ApproxConv2d {
         );
         assert_eq!(bias.shape(), &[spec.out_channels], "bias shape mismatch");
         assert_eq!(lut.bits(), grads.bits(), "LUT bit widths disagree");
+        if let Err(e) = grads.validate() {
+            panic!("gradient LUT rejected: {e}");
+        }
         Self {
             spec,
             weight: Parameter::new(weight, true),
@@ -436,7 +441,8 @@ impl ApproxLinear {
     /// # Panics
     ///
     /// Panics if `weight` is not rank 2, `bias` does not match its first
-    /// dimension, or the LUT bit widths disagree.
+    /// dimension, the LUT bit widths disagree, or the gradient tables fail
+    /// [`GradientLut::validate`].
     pub fn with_params(
         weight: Tensor,
         bias: Tensor,
@@ -447,6 +453,9 @@ impl ApproxLinear {
         assert_eq!(weight.shape().len(), 2, "weight must be [out, in]");
         assert_eq!(bias.shape(), &[weight.shape()[0]], "bias shape mismatch");
         assert_eq!(lut.bits(), grads.bits(), "LUT bit widths disagree");
+        if let Err(e) = grads.validate() {
+            panic!("gradient LUT rejected: {e}");
+        }
         Self {
             weight: Parameter::new(weight, true),
             bias: Parameter::new(bias, false),
@@ -840,6 +849,22 @@ mod tests {
             let threads = 1 + rng.below(6) as usize;
             assert_gemm_parity(m, j, k, threads);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient LUT rejected")]
+    fn poisoned_gradient_lut_is_rejected_at_construction() {
+        let lut = Arc::new(ExactMultiplier::new(4).to_lut());
+        let mut bad = vec![1.0f32; 256];
+        bad[5] = f32::INFINITY;
+        let grads = Arc::new(GradientLut::build(
+            &lut,
+            GradientMode::Custom {
+                wrt_w: Arc::new(bad),
+                wrt_x: Arc::new(vec![1.0; 256]),
+            },
+        ));
+        let _ = ApproxLinear::new(3, 2, 1, lut, grads, QuantConfig::default());
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod resilience;
 mod retrainer;
 mod smoothing;
 
-pub use gradient::{GradientLut, GradientMode};
+pub use gradient::{GradientLut, GradientLutError, GradientMode};
 pub use hws::{
     candidates_for_bits, select_hws, HwsError, HwsSelection, HwsTrial, PAPER_HWS_CANDIDATES,
 };

@@ -198,7 +198,7 @@ mod tests {
             self.inner.backward(grad_out).scale(2.0)
         }
         fn visit_params(&mut self, v: &mut dyn FnMut(&mut Parameter)) {
-            self.inner.visit_params(v)
+            self.inner.visit_params(v);
         }
     }
 

@@ -76,7 +76,7 @@ impl Module for Box<dyn Module> {
         (**self).backward(grad_out)
     }
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
-        (**self).visit_params(visitor)
+        (**self).visit_params(visitor);
     }
 }
 

@@ -170,7 +170,7 @@ pub fn set_global_threads(threads: usize) {
 fn threads_from_env(value: Option<&str>) -> usize {
     match value.and_then(|v| v.trim().parse::<usize>().ok()) {
         Some(n) if n > 0 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     }
 }
 
@@ -259,7 +259,7 @@ mod tests {
     fn env_parsing_falls_back_on_garbage() {
         assert_eq!(threads_from_env(Some("3")), 3);
         assert_eq!(threads_from_env(Some(" 8 ")), 8);
-        let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let fallback = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         assert_eq!(threads_from_env(None), fallback);
         assert_eq!(threads_from_env(Some("")), fallback);
         assert_eq!(threads_from_env(Some("0")), fallback);

@@ -1,0 +1,474 @@
+//! Full verification sweep over the multiplier zoo.
+//!
+//! [`lint_zoo`] runs every pass — structural netlist lints, miter
+//! equivalence against the exact array multiplier, LUT metric sanity, and
+//! gradient-table consistency — over all Table I designs plus deliberately
+//! faulty variants (a stuck-at netlist fault and corrupted LUT cells). The
+//! faulty variants act as negative controls: the sweep *fails* if they
+//! pass the equivalence check. The result serializes to the
+//! `results/LINT.json` schema consumed by CI.
+
+use appmult_circuit::{fault_sites, MultiplierCircuit};
+use appmult_mult::{zoo, FaultyMultiplier, Multiplier, MultiplierLut};
+use appmult_retrain::{GradientLut, GradientMode};
+
+use crate::diag::{count_severity, Diagnostic, Severity};
+use crate::equiv::{
+    lut_equivalence_vs_exact, prove_multiplier_equivalence, EquivConfig, MultiplierEquiv,
+};
+use crate::structural::lint_multiplier_circuit;
+use crate::tables::{lint_gradient_lut, lint_multiplier_lut};
+
+/// What a design is expected to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignKind {
+    /// Must be proved equivalent to the exact multiplier.
+    Exact,
+    /// Must differ from the exact multiplier (a counterexample is expected).
+    Approximate,
+    /// A deliberately defective variant; must also fail equivalence.
+    Faulty,
+}
+
+impl DesignKind {
+    /// Lowercase identifier used in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DesignKind::Exact => "exact",
+            DesignKind::Approximate => "approximate",
+            DesignKind::Faulty => "faulty",
+        }
+    }
+}
+
+/// Verification outcome of one design.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Design name (zoo name or synthetic variant label).
+    pub name: String,
+    /// Operand bit width.
+    pub bits: u32,
+    /// Expected behaviour class.
+    pub kind: DesignKind,
+    /// All pass findings, including the expectation check.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Equivalence result against the exact multiplier, when checked.
+    pub equivalence: Option<MultiplierEquiv>,
+}
+
+impl DesignReport {
+    /// Number of error diagnostics.
+    pub fn error_count(&self) -> usize {
+        count_severity(&self.diagnostics, Severity::Error)
+    }
+
+    /// Number of warning diagnostics.
+    pub fn warning_count(&self) -> usize {
+        count_severity(&self.diagnostics, Severity::Warning)
+    }
+}
+
+/// Aggregated verification report over the whole zoo.
+#[derive(Debug, Clone)]
+pub struct ZooLintReport {
+    /// Per-design reports, in sweep order.
+    pub designs: Vec<DesignReport>,
+}
+
+impl ZooLintReport {
+    /// Total error diagnostics across all designs.
+    pub fn error_count(&self) -> usize {
+        self.designs.iter().map(DesignReport::error_count).sum()
+    }
+
+    /// Total warning diagnostics across all designs.
+    pub fn warning_count(&self) -> usize {
+        self.designs.iter().map(DesignReport::warning_count).sum()
+    }
+
+    /// Serializes the report to the `appmult-lint/v1` JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"appmult-lint/v1\",\n");
+        out.push_str(&format!("  \"design_count\": {},\n", self.designs.len()));
+        out.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warning_count()));
+        out.push_str("  \"designs\": [\n");
+        for (i, d) in self.designs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&d.name)));
+            out.push_str(&format!("      \"bits\": {},\n", d.bits));
+            out.push_str(&format!("      \"kind\": \"{}\",\n", d.kind.as_str()));
+            out.push_str(&format!("      \"errors\": {},\n", d.error_count()));
+            out.push_str(&format!("      \"warnings\": {},\n", d.warning_count()));
+            match &d.equivalence {
+                Some(MultiplierEquiv::Equivalent {
+                    patterns,
+                    exhaustive,
+                }) => {
+                    out.push_str("      \"equivalence\": {\n");
+                    out.push_str("        \"status\": \"equivalent\",\n");
+                    out.push_str(&format!("        \"exhaustive\": {exhaustive},\n"));
+                    out.push_str(&format!("        \"patterns\": {patterns}\n"));
+                    out.push_str("      },\n");
+                }
+                Some(MultiplierEquiv::Counterexample(c)) => {
+                    out.push_str("      \"equivalence\": {\n");
+                    out.push_str("        \"status\": \"counterexample\",\n");
+                    out.push_str(&format!("        \"w\": {},\n", c.w));
+                    out.push_str(&format!("        \"x\": {},\n", c.x));
+                    out.push_str(&format!("        \"got\": {},\n", c.got));
+                    out.push_str(&format!("        \"expected\": {}\n", c.expected));
+                    out.push_str("      },\n");
+                }
+                None => out.push_str("      \"equivalence\": null,\n"),
+            }
+            out.push_str("      \"diagnostics\": [\n");
+            for (j, diag) in d.diagnostics.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"pass\": \"{}\", \"severity\": \"{}\", \"location\": \"{}\", \"message\": \"{}\"}}{}\n",
+                    json_escape(diag.pass),
+                    diag.severity.as_str(),
+                    json_escape(&diag.location),
+                    json_escape(&diag.message),
+                    if j + 1 < d.diagnostics.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.designs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs every applicable pass over one multiplier.
+///
+/// Designs with a gate-level structure get the structural lints, a
+/// behaviour cross-check (exhaustive circuit products vs the behavioural
+/// LUT), and miter-based equivalence against the exact array multiplier;
+/// LUT-only designs fall back to an exhaustive table scan. All designs get
+/// the LUT metric sanity pass and the Eq. 5/6 gradient consistency pass at
+/// the given half window size. The expected behaviour class (`kind`) is
+/// derived from the LUT itself and checked against the equivalence result.
+pub fn lint_multiplier<M: Multiplier + ?Sized>(name: &str, m: &M, hws: u32) -> DesignReport {
+    let lut = MultiplierLut::from_multiplier(m);
+    lint_with_lut(name, m, &lut, hws, None)
+}
+
+fn lint_with_lut<M: Multiplier + ?Sized>(
+    name: &str,
+    m: &M,
+    lut: &MultiplierLut,
+    hws: u32,
+    forced_kind: Option<DesignKind>,
+) -> DesignReport {
+    let bits = lut.bits();
+    let mut diagnostics = lint_multiplier_lut(lut);
+    let kind = forced_kind.unwrap_or(if lut.is_exact() {
+        DesignKind::Exact
+    } else {
+        DesignKind::Approximate
+    });
+
+    let cfg = EquivConfig::default();
+    let equivalence = match m.circuit() {
+        Some(circuit) => {
+            diagnostics.extend(lint_multiplier_circuit(&circuit));
+            // The gate-level structure must implement the behavioural model.
+            let products = circuit.exhaustive_products();
+            if let Some(idx) = products
+                .iter()
+                .zip(lut.entries())
+                .position(|(&c, &b)| c != u64::from(b))
+            {
+                let w = idx >> bits;
+                let x = idx & ((1usize << bits) - 1);
+                diagnostics.push(Diagnostic::error(
+                    "behaviour",
+                    format!("{name}[w={w}, x={x}]"),
+                    format!(
+                        "circuit computes {} but the behavioural model gives {}",
+                        products[idx],
+                        lut.entries()[idx]
+                    ),
+                ));
+            }
+            let reference = MultiplierCircuit::array(bits);
+            match prove_multiplier_equivalence(&circuit, &reference, &cfg) {
+                Ok(r) => Some(r),
+                Err(e) => {
+                    diagnostics.push(Diagnostic::error(
+                        "miter",
+                        name.to_string(),
+                        format!("miter construction failed: {e}"),
+                    ));
+                    None
+                }
+            }
+        }
+        None => Some(lut_equivalence_vs_exact(lut)),
+    };
+
+    // The equivalence verdict must agree with the expected behaviour class.
+    match (&equivalence, kind) {
+        (Some(MultiplierEquiv::Counterexample(c)), DesignKind::Exact) => {
+            diagnostics.push(Diagnostic::error(
+                "equivalence",
+                name.to_string(),
+                format!("exact design disagrees with the reference: {c}"),
+            ));
+        }
+        (Some(MultiplierEquiv::Equivalent { exhaustive, .. }), k)
+            if k != DesignKind::Exact && *exhaustive =>
+        {
+            diagnostics.push(Diagnostic::error(
+                "equivalence",
+                name.to_string(),
+                format!(
+                    "{} design proved equivalent to the exact multiplier",
+                    k.as_str()
+                ),
+            ));
+        }
+        _ => {}
+    }
+
+    let grads = GradientLut::build(lut, GradientMode::difference_based(hws.max(1)));
+    diagnostics.extend(lint_gradient_lut(lut, &grads, hws.max(1)));
+
+    DesignReport {
+        name: name.to_string(),
+        bits,
+        kind,
+        diagnostics,
+        equivalence,
+    }
+}
+
+/// Negative control: the 8-bit array multiplier with its first live
+/// physical gate stuck at 1, checked structurally through the miter.
+fn lint_stuck_at_variant() -> DesignReport {
+    let base = MultiplierCircuit::array(8);
+    let site = fault_sites(base.netlist())[0];
+    let mut faulted = base.netlist().clone();
+    faulted
+        .replace_with_const(site, true)
+        .expect("fault site belongs to the netlist");
+    let circuit = MultiplierCircuit::from_netlist(faulted, 8)
+        .expect("fault injection preserves the bus shapes");
+    let name = format!("mul8u_array_sa1@{site}");
+
+    let mut diagnostics = lint_multiplier_circuit(&circuit);
+    let equivalence = match prove_multiplier_equivalence(&circuit, &base, &EquivConfig::default()) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            diagnostics.push(Diagnostic::error(
+                "miter",
+                name.clone(),
+                format!("miter construction failed: {e}"),
+            ));
+            None
+        }
+    };
+    if let Some(MultiplierEquiv::Equivalent { .. }) = equivalence {
+        diagnostics.push(Diagnostic::error(
+            "equivalence",
+            name.clone(),
+            "stuck-at-1 fault was not detected by the miter",
+        ));
+    }
+    DesignReport {
+        name,
+        bits: 8,
+        kind: DesignKind::Faulty,
+        diagnostics,
+        equivalence,
+    }
+}
+
+/// Negative control: the exact 8-bit LUT with 4 memory cells flipped.
+fn lint_corrupted_lut_variant() -> DesignReport {
+    let clean = appmult_mult::ExactMultiplier::new(8).to_lut();
+    let faulty = FaultyMultiplier::corrupt_lut(&clean, 4, 0xBAD_CE11);
+    let lut = faulty.clone().into_lut();
+    let name = lut.name().to_string();
+    let mut report = lint_with_lut(&name, &faulty, &lut, 4, Some(DesignKind::Faulty));
+    if let Some(MultiplierEquiv::Equivalent { .. }) = report.equivalence {
+        report.diagnostics.push(Diagnostic::error(
+            "equivalence",
+            name,
+            "corrupted LUT cells were not detected by the table scan",
+        ));
+    }
+    report
+}
+
+/// Above-limit control: 10-bit array vs Wallace (20 shared input bits),
+/// exercising the corner + seeded random sampling path of the checker.
+fn lint_sampled_equivalence() -> DesignReport {
+    let array = MultiplierCircuit::array(10);
+    let wallace = MultiplierCircuit::wallace(10);
+    let name = "mul10u_wallace_vs_array".to_string();
+    let mut diagnostics = lint_multiplier_circuit(&wallace);
+    let equivalence = match prove_multiplier_equivalence(&wallace, &array, &EquivConfig::default())
+    {
+        Ok(r) => Some(r),
+        Err(e) => {
+            diagnostics.push(Diagnostic::error(
+                "miter",
+                name.clone(),
+                format!("miter construction failed: {e}"),
+            ));
+            None
+        }
+    };
+    if let Some(MultiplierEquiv::Counterexample(c)) = &equivalence {
+        diagnostics.push(Diagnostic::error(
+            "equivalence",
+            name.clone(),
+            format!("Wallace and array reductions disagree: {c}"),
+        ));
+    }
+    DesignReport {
+        name,
+        bits: 10,
+        kind: DesignKind::Exact,
+        diagnostics,
+        equivalence,
+    }
+}
+
+/// Runs the full verification sweep: every Table I zoo entry (including
+/// the cached `_syn` synthesis results) at its recommended half window
+/// size, the two faulty negative controls, and the above-limit sampled
+/// equivalence check.
+pub fn lint_zoo() -> ZooLintReport {
+    lint_zoo_filtered(true)
+}
+
+/// Like [`lint_zoo`], optionally skipping the `_syn` entries whose
+/// approximate-logic-synthesis step dominates unoptimized runtimes
+/// (debug-mode test suites lint them through `appmult-mult`'s own tests
+/// and the release CI sweep instead).
+pub fn lint_zoo_filtered(include_syn: bool) -> ZooLintReport {
+    // Filter *names* before `zoo::entry` so skipped `_syn` designs never
+    // run their (cached but expensive) synthesis step.
+    let mut designs: Vec<DesignReport> = zoo::names()
+        .iter()
+        .filter(|n| include_syn || !n.contains("_syn"))
+        .map(|n| {
+            let e = zoo::entry(n).expect("zoo::names() entries resolve");
+            lint_multiplier(e.name, e.multiplier.as_ref(), e.recommended_hws())
+        })
+        .collect();
+    designs.push(lint_stuck_at_variant());
+    designs.push(lint_corrupted_lut_variant());
+    designs.push(lint_sampled_equivalence());
+    ZooLintReport { designs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_mult::{ExactMultiplier, TruncatedMultiplier};
+
+    #[test]
+    fn exact_design_report_is_clean_and_proved() {
+        let m = ExactMultiplier::new(6);
+        let r = lint_multiplier("mul6u_acc", &m, 1);
+        assert_eq!(r.kind, DesignKind::Exact);
+        assert_eq!(r.error_count(), 0, "{:?}", r.diagnostics);
+        assert_eq!(
+            r.equivalence,
+            Some(MultiplierEquiv::Equivalent {
+                patterns: 1 << 12,
+                exhaustive: true
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_design_reports_concrete_counterexample() {
+        let m = TruncatedMultiplier::new(7, 6);
+        let r = lint_multiplier("mul7u_rm6", &m, 4);
+        assert_eq!(r.kind, DesignKind::Approximate);
+        assert_eq!(r.error_count(), 0, "{:?}", r.diagnostics);
+        match r.equivalence {
+            Some(MultiplierEquiv::Counterexample(c)) => {
+                assert_eq!((c.w, c.x), (1, 1));
+                assert_eq!((c.got, c.expected), (0, 1));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_at_control_fails_equivalence() {
+        let r = lint_stuck_at_variant();
+        assert_eq!(r.kind, DesignKind::Faulty);
+        assert!(matches!(
+            r.equivalence,
+            Some(MultiplierEquiv::Counterexample(_))
+        ));
+        // The expectation check adds no error: failing is the expectation.
+        assert!(
+            r.diagnostics.iter().all(|d| d.pass != "equivalence"),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn corrupted_lut_control_fails_equivalence() {
+        let r = lint_corrupted_lut_variant();
+        assert_eq!(r.kind, DesignKind::Faulty);
+        assert!(matches!(
+            r.equivalence,
+            Some(MultiplierEquiv::Counterexample(_))
+        ));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = ZooLintReport {
+            designs: vec![
+                lint_multiplier("mul6u_acc", &ExactMultiplier::new(6), 1),
+                lint_multiplier("mul6u_rm4", &TruncatedMultiplier::new(6, 4), 2),
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"appmult-lint/v1\""));
+        assert!(json.contains("\"status\": \"equivalent\""));
+        assert!(json.contains("\"status\": \"counterexample\""));
+        assert_eq!(json.matches("\"name\":").count(), 2);
+        // Balanced braces and brackets (no raw quotes inside values).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -35,6 +35,9 @@
 //! assert!(grads.wrt_x(10, 64) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use appmult_circuit as circuit;
 pub use appmult_data as data;
 pub use appmult_models as models;
