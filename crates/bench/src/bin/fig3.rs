@@ -12,9 +12,9 @@
 //! Emits `results/fig3.csv` with the four series and prints the landmark
 //! values (the jumps at X = 31, 63, 95 that the paper's red arrows mark).
 
-use appmult_bench::{write_results, Args};
+use appmult_bench::{fig3_csv, write_results, Args};
 use appmult_mult::{zoo, Multiplier};
-use appmult_retrain::{smooth_row, GradientLut, GradientMode};
+use appmult_retrain::{GradientLut, GradientMode};
 
 fn main() {
     let args = Args::from_env();
@@ -23,26 +23,10 @@ fn main() {
 
     let lut = zoo::mul7u_rm6().to_lut();
     let row = lut.row(wf).to_vec();
-    let smoothed = smooth_row(&row, hws);
     let ours = GradientLut::build(&lut, GradientMode::difference_based(hws));
     let ste = GradientLut::build(&lut, GradientMode::Ste);
     let raw = GradientLut::build(&lut, GradientMode::RawDifference);
-
-    let mut csv = String::from("x,appmult,accmult,smoothed,grad_diff,grad_ste,grad_raw\n");
-    for x in 0..row.len() as u32 {
-        let sm = smoothed[x as usize]
-            .map(|v| format!("{v:.4}"))
-            .unwrap_or_default();
-        csv.push_str(&format!(
-            "{x},{},{},{sm},{:.4},{:.4},{:.4}\n",
-            row[x as usize],
-            wf * x,
-            ours.wrt_x(wf, x),
-            ste.wrt_x(wf, x),
-            raw.wrt_x(wf, x),
-        ));
-    }
-    let path = write_results("fig3.csv", &csv);
+    let path = write_results("fig3.csv", &fig3_csv(&lut, wf, hws));
 
     println!("## Fig. 3 — AM(W_f = {wf}, X) for mul7u_rm6 (HWS = {hws})\n");
     println!("Landmarks (the paper's red arrows at X = 31, 63, 95):");

@@ -1,0 +1,29 @@
+//! `obs_demo` — a small retraining run with full observability enabled.
+//!
+//! Retrains a two-layer AppMult model (see `appmult_bench::run_obs_demo`)
+//! with a recording sink installed both process-wide (for the GEMM/LUT/pool
+//! kernels) and in the `RetrainConfig` (for the loop's spans and per-epoch
+//! events). A mid-run learning-rate spike provokes the resilience policy so
+//! the report also shows interventions.
+//!
+//! Writes the `appmult-obs/v1` report to `results/OBS.json`, the raw event
+//! stream to `results/OBS_events.jsonl`, and prints the end-of-run summary
+//! table.
+
+use appmult_bench::{run_obs_demo, write_results};
+
+fn main() {
+    let demo = run_obs_demo();
+    println!("{}", demo.summary);
+    println!(
+        "demo run: {} epochs, final train loss {:.4}, final top-1 {:.3}, {} rollbacks",
+        demo.history.epochs.len(),
+        demo.history.final_train_loss(),
+        demo.history.final_top1(),
+        demo.history.total_rollbacks(),
+    );
+    let report = write_results("OBS.json", &demo.report_json);
+    let events = write_results("OBS_events.jsonl", &demo.events_jsonl);
+    println!("wrote {}", report.display());
+    println!("wrote {}", events.display());
+}

@@ -13,10 +13,9 @@
 //! `--skip-syn` omits the four `_syn` entries (their ALS runs take a few
 //! seconds each on one core).
 
-use appmult_bench::{markdown_table, write_results, Args};
+use appmult_bench::{markdown_table, table1_row, write_results, Args, TABLE1_CSV_HEADER};
 use appmult_circuit::CostModel;
-use appmult_mult::zoo::{self, Fidelity};
-use appmult_mult::{ErrorMetrics, Multiplier};
+use appmult_mult::zoo;
 
 fn main() {
     let args = Args::from_env();
@@ -24,66 +23,16 @@ fn main() {
     let model = CostModel::asap7();
 
     let mut rows = Vec::new();
-    let mut csv = String::from(
-        "name,fidelity,area_um2,delay_ps,power_uw,er_pct,nmed_pct,max_ed,hws,\
-         paper_area,paper_delay,paper_power,paper_er,paper_nmed,paper_maxed\n",
-    );
+    let mut csv = String::from(TABLE1_CSV_HEADER);
     for name in zoo::names() {
         if skip_syn && name.contains("_syn") {
             continue;
         }
         eprintln!("[table1] {name}...");
         let entry = zoo::entry(name).expect("known");
-        let lut = entry.multiplier.to_lut();
-        let metrics = ErrorMetrics::exhaustive(&lut);
-        let (cost, source) = match entry.multiplier.circuit() {
-            Some(c) => (model.estimate(&c), "model"),
-            None => (
-                appmult_circuit::HardwareCost {
-                    area_um2: entry.paper.area_um2,
-                    delay_ps: entry.paper.delay_ps,
-                    power_uw: entry.paper.power_uw,
-                },
-                "paper*",
-            ),
-        };
-        let fidelity = match entry.fidelity {
-            Fidelity::ExactSemantics => "exact",
-            Fidelity::Surrogate => "surrogate",
-            Fidelity::Synthesized => "synthesized",
-        };
-        let hws = entry
-            .paper
-            .hws
-            .map(|h| h.to_string())
-            .unwrap_or_else(|| "N/A".into());
-        rows.push(vec![
-            name.to_string(),
-            fidelity.into(),
-            format!("{:.1} ({})", cost.area_um2, source),
-            format!("{:.1}", cost.delay_ps),
-            format!("{:.2}", cost.power_uw),
-            format!("{:.1} / {:.1}", metrics.er_pct(), entry.paper.er_pct),
-            format!("{:.2} / {:.2}", metrics.nmed_pct(), entry.paper.nmed_pct),
-            format!("{} / {}", metrics.max_ed, entry.paper.max_ed),
-            hws.clone(),
-        ]);
-        csv.push_str(&format!(
-            "{name},{fidelity},{:.2},{:.2},{:.3},{:.2},{:.4},{},{},{:.2},{:.2},{:.3},{:.2},{:.4},{}\n",
-            cost.area_um2,
-            cost.delay_ps,
-            cost.power_uw,
-            metrics.er_pct(),
-            metrics.nmed_pct(),
-            metrics.max_ed,
-            hws,
-            entry.paper.area_um2,
-            entry.paper.delay_ps,
-            entry.paper.power_uw,
-            entry.paper.er_pct,
-            entry.paper.nmed_pct,
-            entry.paper.max_ed,
-        ));
+        let row = table1_row(&entry, &model);
+        rows.push(row.markdown_cells());
+        csv.push_str(&row.csv_line());
     }
 
     println!("\n## Table I — multiplier characteristics (measured / paper)\n");

@@ -29,6 +29,7 @@ use appmult_mult::zoo::ZooEntry;
 use appmult_mult::{Multiplier, MultiplierLut};
 use appmult_nn::layers::Sequential;
 use appmult_nn::optim::{Adam, StepSchedule};
+use appmult_obs::ObsSink;
 use appmult_retrain::{
     evaluate, retrain, Batch, GradientLut, GradientMode, ResiliencePolicy, RetrainConfig,
     RetrainHistory,
@@ -175,6 +176,7 @@ pub fn pretrain_float(kind: ModelKind, scale: &Scale, workload: &Workload) -> (S
         schedule: StepSchedule::new(vec![(1, scale.pretrain_lr)]),
         eval_every: usize::MAX,
         resilience: None,
+        obs: ObsSink::null(),
     };
     let history = retrain(&mut model, &mut opt, &cfg, &workload.train, &workload.test);
     let top1 = history.final_top1();
@@ -239,6 +241,7 @@ pub fn retrain_with_multiplier_resilient(
         schedule: scale.schedule.clone(),
         eval_every: 1,
         resilience,
+        obs: ObsSink::null(),
     };
     let history = retrain(&mut model, &mut opt, &cfg, &workload.train, &workload.test);
     RetrainOutcome {
@@ -394,6 +397,238 @@ impl Args {
         self.value(name)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+}
+
+/// Artifacts of one observability-demo retraining run (see [`run_obs_demo`]).
+#[derive(Debug)]
+pub struct ObsDemo {
+    /// Full `appmult-obs/v1` report (the contents of `results/OBS.json`).
+    pub report_json: String,
+    /// Structured event stream, one JSON object per line.
+    pub events_jsonl: String,
+    /// End-of-run plain-text summary table.
+    pub summary: String,
+    /// The retraining history of the demo run.
+    pub history: appmult_retrain::RetrainHistory,
+}
+
+/// Retrains a small two-layer AppMult model with full observability on and
+/// returns the recorded artifacts.
+///
+/// The run is deliberately eventful so every signal class shows up in the
+/// report: a one-epoch learning-rate spike blows the loss up mid-run, which
+/// the aggressive [`ResiliencePolicy`] answers with norm clipping and a
+/// divergence rollback — so the report carries per-layer forward/backward
+/// latency histograms, per-epoch loss/gradient-norm events, LUT build and
+/// lookup counters, per-worker busy time, and nonzero resilience
+/// intervention counts.
+pub fn run_obs_demo() -> ObsDemo {
+    let obs = ObsSink::recording();
+    // The hot kernels (GEMM, LUT builds, the pool) report via the
+    // process-wide sink; the retraining loop itself via the config handle.
+    appmult_obs::set_global(&obs);
+    // Pre-register the intervention inventory so the report always carries
+    // every counter, including those that stay at zero on a healthy run.
+    for counter in [
+        "resilience.rollbacks",
+        "resilience.scrubbed_grads",
+        "resilience.norm_clips",
+        "observer.rejections",
+    ] {
+        obs.counter_add(counter, 0);
+    }
+
+    let mut data_cfg = DatasetConfig::small(3, 8, 6);
+    data_cfg.channels = 1;
+    data_cfg.hw = (8, 8);
+    let data = SyntheticDataset::generate(&data_cfg);
+    let train = data.train_batches(8);
+    let test = data.test_batches(8);
+
+    let lut = Arc::new(appmult_mult::zoo::mul7u_rm6().to_lut());
+    let grads = Arc::new(GradientLut::build(&lut, GradientMode::difference_based(8)));
+    let mut model = Sequential::new()
+        .push(appmult_nn::layers::Flatten::new())
+        .push(appmult_retrain::ApproxLinear::new(
+            64,
+            16,
+            11,
+            lut.clone(),
+            grads.clone(),
+            appmult_retrain::QuantConfig::default(),
+        ))
+        .push(appmult_nn::layers::Relu::new())
+        .push(appmult_retrain::ApproxLinear::new(
+            16,
+            3,
+            13,
+            lut,
+            grads,
+            appmult_retrain::QuantConfig::default(),
+        ));
+    let mut opt = Adam::new(5e-3);
+    let cfg = RetrainConfig {
+        epochs: 6,
+        // Epoch 4 runs at an absurd learning rate to provoke a divergence.
+        schedule: StepSchedule::new(vec![(1, 5e-3), (4, 5.0), (5, 5e-3)]),
+        eval_every: 1,
+        resilience: Some(ResiliencePolicy {
+            max_grad_norm: Some(10.0),
+            divergence_factor: 1.05,
+            divergence_patience: 1,
+            lr_backoff: 0.5,
+            max_rollbacks: 3,
+        }),
+        obs: obs.clone(),
+    };
+    let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+    appmult_obs::set_global(&ObsSink::null());
+
+    ObsDemo {
+        report_json: obs.to_json(),
+        events_jsonl: obs.events_jsonl(),
+        summary: obs.summary(),
+        history,
+    }
+}
+
+/// The Fig. 3 series for one multiplier slice as CSV: the raw AppMult row
+/// `AM(W_f, X)`, the AccMult line, the Eq. 4 smoothing, and the
+/// difference-based / STE / raw-difference gradients.
+///
+/// Shared by the `fig3` binary and the golden-file regression tests, so a
+/// change to any of the underlying math shows up as a golden diff.
+pub fn fig3_csv(lut: &MultiplierLut, wf: u32, hws: u32) -> String {
+    let row = lut.row(wf).to_vec();
+    let smoothed = appmult_retrain::smooth_row(&row, hws);
+    let ours = GradientLut::build(lut, GradientMode::difference_based(hws));
+    let ste = GradientLut::build(lut, GradientMode::Ste);
+    let raw = GradientLut::build(lut, GradientMode::RawDifference);
+
+    let mut csv = String::from("x,appmult,accmult,smoothed,grad_diff,grad_ste,grad_raw\n");
+    for x in 0..row.len() as u32 {
+        let sm = smoothed[x as usize]
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_default();
+        csv.push_str(&format!(
+            "{x},{},{},{sm},{:.4},{:.4},{:.4}\n",
+            row[x as usize],
+            wf * x,
+            ours.wrt_x(wf, x),
+            ste.wrt_x(wf, x),
+            raw.wrt_x(wf, x),
+        ));
+    }
+    csv
+}
+
+/// One Table I row: measured error metrics and hardware cost of a zoo
+/// entry next to the paper's published values.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Table I multiplier name.
+    pub name: String,
+    /// Reproduction-fidelity label (`exact` / `surrogate` / `synthesized`).
+    pub fidelity: &'static str,
+    /// Hardware cost: gate-level model estimate when a netlist exists,
+    /// otherwise the paper's published numbers.
+    pub cost: appmult_circuit::HardwareCost,
+    /// Where [`Table1Row::cost`] came from: `"model"` or `"paper*"`.
+    pub cost_source: &'static str,
+    /// Exhaustively measured error metrics of the entry's LUT.
+    pub metrics: appmult_mult::ErrorMetrics,
+    /// HWS column (`None` for exact multipliers).
+    pub hws: Option<u32>,
+    /// The paper's published row.
+    pub paper: appmult_mult::zoo::PaperRow,
+}
+
+/// CSV header matching [`Table1Row::csv_line`].
+pub const TABLE1_CSV_HEADER: &str =
+    "name,fidelity,area_um2,delay_ps,power_uw,er_pct,nmed_pct,max_ed,hws,\
+     paper_area,paper_delay,paper_power,paper_er,paper_nmed,paper_maxed\n";
+
+/// Computes one Table I row from a zoo entry.
+///
+/// Shared by the `table1` binary and the golden-file regression tests.
+pub fn table1_row(entry: &ZooEntry, model: &appmult_circuit::CostModel) -> Table1Row {
+    let lut = entry.multiplier.to_lut();
+    let metrics = appmult_mult::ErrorMetrics::exhaustive(&lut);
+    let (cost, cost_source) = match entry.multiplier.circuit() {
+        Some(c) => (model.estimate(&c), "model"),
+        None => (
+            appmult_circuit::HardwareCost {
+                area_um2: entry.paper.area_um2,
+                delay_ps: entry.paper.delay_ps,
+                power_uw: entry.paper.power_uw,
+            },
+            "paper*",
+        ),
+    };
+    let fidelity = match entry.fidelity {
+        appmult_mult::zoo::Fidelity::ExactSemantics => "exact",
+        appmult_mult::zoo::Fidelity::Surrogate => "surrogate",
+        appmult_mult::zoo::Fidelity::Synthesized => "synthesized",
+    };
+    Table1Row {
+        name: entry.name.to_string(),
+        fidelity,
+        cost,
+        cost_source,
+        metrics,
+        hws: entry.paper.hws,
+        paper: entry.paper,
+    }
+}
+
+impl Table1Row {
+    /// The HWS column as printed (`N/A` for exact multipliers).
+    pub fn hws_label(&self) -> String {
+        self.hws
+            .map(|h| h.to_string())
+            .unwrap_or_else(|| "N/A".into())
+    }
+
+    /// One CSV line in the [`TABLE1_CSV_HEADER`] column order.
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{},{},{:.2},{:.2},{:.3},{:.2},{:.4},{},{},{:.2},{:.2},{:.3},{:.2},{:.4},{}\n",
+            self.name,
+            self.fidelity,
+            self.cost.area_um2,
+            self.cost.delay_ps,
+            self.cost.power_uw,
+            self.metrics.er_pct(),
+            self.metrics.nmed_pct(),
+            self.metrics.max_ed,
+            self.hws_label(),
+            self.paper.area_um2,
+            self.paper.delay_ps,
+            self.paper.power_uw,
+            self.paper.er_pct,
+            self.paper.nmed_pct,
+            self.paper.max_ed,
+        )
+    }
+
+    /// The human-facing markdown cells of the `table1` binary.
+    pub fn markdown_cells(&self) -> Vec<String> {
+        vec![
+            self.name.clone(),
+            self.fidelity.into(),
+            format!("{:.1} ({})", self.cost.area_um2, self.cost_source),
+            format!("{:.1}", self.cost.delay_ps),
+            format!("{:.2}", self.cost.power_uw),
+            format!("{:.1} / {:.1}", self.metrics.er_pct(), self.paper.er_pct),
+            format!(
+                "{:.2} / {:.2}",
+                self.metrics.nmed_pct(),
+                self.paper.nmed_pct
+            ),
+            format!("{} / {}", self.metrics.max_ed, self.paper.max_ed),
+            self.hws_label(),
+        ]
     }
 }
 

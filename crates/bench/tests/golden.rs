@@ -1,0 +1,79 @@
+//! Golden-file regression tests for the cheap deterministic artifacts.
+//!
+//! The fig3 series and Table I rows of the two inexpensive multipliers
+//! (`mul7u_rm6`, `mul6u_rm4` — both exact-semantics designs with gate-level
+//! netlists) are regenerated through the same `appmult_bench` functions the
+//! binaries use and compared byte for byte against the checked-in copies
+//! under `golden/`. Any change to the LUTs, the Eq. 4-6 gradient math, the
+//! error metrics, or the cost model shows up as a readable line diff here.
+//!
+//! To bless an intentional change: `UPDATE_GOLDEN=1 cargo test -p
+//! appmult-bench --test golden`, then commit the updated files.
+
+use appmult_bench::{fig3_csv, table1_row, TABLE1_CSV_HEADER};
+use appmult_circuit::CostModel;
+use appmult_mult::{zoo, Multiplier};
+
+/// Compares `actual` against `golden/<name>`, with an opt-in regeneration
+/// path via the `UPDATE_GOLDEN` environment variable.
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a);
+        match mismatch {
+            Some((i, (e, a))) => panic!(
+                "{name} diverged from golden at line {}:\n  golden: {e}\n  actual: {a}\n\
+                 (UPDATE_GOLDEN=1 re-blesses if the change is intentional)",
+                i + 1
+            ),
+            None => panic!(
+                "{name} diverged from golden in length: {} vs {} lines",
+                expected.lines().count(),
+                actual.lines().count()
+            ),
+        }
+    }
+}
+
+#[test]
+fn fig3_series_for_mul7u_rm6_matches_golden() {
+    // The paper's own figure: W_f = 10, HWS = 4.
+    let lut = zoo::mul7u_rm6().to_lut();
+    assert_golden("fig3_mul7u_rm6.csv", &fig3_csv(&lut, 10, 4));
+}
+
+#[test]
+fn fig3_series_for_mul6u_rm4_matches_golden() {
+    // Same slice for the 6-bit CIFAR-100 multiplier at its Table I HWS.
+    let lut = zoo::mul6u_rm4().to_lut();
+    let hws = zoo::entry("mul6u_rm4").expect("known").recommended_hws();
+    assert_golden("fig3_mul6u_rm4.csv", &fig3_csv(&lut, 10, hws));
+}
+
+#[test]
+fn table1_rows_for_cheap_multipliers_match_golden() {
+    let model = CostModel::asap7();
+    let mut csv = String::from(TABLE1_CSV_HEADER);
+    for name in ["mul7u_rm6", "mul6u_rm4"] {
+        let entry = zoo::entry(name).expect("known");
+        csv.push_str(&table1_row(&entry, &model).csv_line());
+    }
+    assert_golden("table1_cheap.csv", &csv);
+}

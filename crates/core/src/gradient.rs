@@ -125,6 +125,9 @@ impl GradientLut {
     /// the workers; each entry is written exactly once, making the tables
     /// bit-identical for every thread count.
     pub fn build_with_pool(lut: &MultiplierLut, mode: GradientMode, pool: Pool) -> Self {
+        let obs = appmult_obs::global();
+        let _span = obs.span("gradient_lut.build");
+        let build_start = obs.is_enabled().then(std::time::Instant::now);
         let bits = lut.bits();
         let n = 1usize << bits;
         let label = mode.label();
@@ -165,6 +168,10 @@ impl GradientLut {
                 (wrt_w, wrt_x)
             }
         };
+        obs.counter_add("gradient_lut.builds", 1);
+        if let Some(start) = build_start {
+            obs.observe("gradient_lut.build_us", start.elapsed().as_secs_f64() * 1e6);
+        }
         Self {
             bits,
             wrt_w,

@@ -88,7 +88,10 @@ fn quantize_slice(values: &[f32], params: &QuantParams) -> (Vec<u16>, Vec<bool>)
 /// worker with the same per-element accumulation order as a serial run, so
 /// the result is bit-identical for any thread count.
 fn gemm_forward(cache: &GemmCache, lut: &MultiplierLut, bias: &[f32], pool: Pool) -> Tensor {
+    let obs = appmult_obs::global();
+    let _span = obs.span("gemm_forward");
     let (m, j, k) = (cache.m, cache.j, cache.k);
+    obs.counter_add("lut.lookups", (m * j * k) as u64);
     let bits = lut.bits();
     let table = lut.entries();
     let wq_params = cache.wq_params.expect("cache populated");
@@ -138,8 +141,13 @@ fn gemm_backward(
     g: &Tensor,
     pool: Pool,
 ) -> (Tensor, Tensor) {
+    let obs = appmult_obs::global();
+    let _span = obs.span("gemm_backward");
     let (m, j, k) = (cache.m, cache.j, cache.k);
     assert_eq!(g.shape(), &[m, j], "output gradient shape mismatch");
+    // Nominal Eq. 9 table lookups (`dW` and `dX` halves; zero-gradient
+    // rows are skipped at runtime, so this is an upper bound).
+    obs.counter_add("gradlut.lookups", 2 * (m * j * k) as u64);
     let bits = grads.bits();
     let gw_table = grads.wrt_w_table().as_slice();
     let gx_table = grads.wrt_x_table().as_slice();
@@ -346,6 +354,8 @@ impl ApproxConv2d {
 
 impl Module for ApproxConv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let obs = appmult_obs::global();
+        let _span = obs.span("conv2d.forward");
         let s = input.shape();
         assert_eq!(s.len(), 4, "expected NCHW input");
         let (n, h, w) = (s[0], s[2], s[3]);
@@ -353,7 +363,12 @@ impl Module for ApproxConv2d {
         let bits = self.lut.bits();
 
         if train || self.observer.range().is_none() {
+            let rejected_before = self.observer.rejected();
             self.observer.observe(input);
+            let rejected = self.observer.rejected() - rejected_before;
+            if rejected > 0 {
+                obs.counter_add("observer.rejections", rejected as u64);
+            }
         }
         let xq_params = self.observer.quant_params(bits);
         let (wlo, whi) = self.weight.value.min_max();
@@ -386,6 +401,7 @@ impl Module for ApproxConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = appmult_obs::global().span("conv2d.backward");
         assert!(self.cache.m > 0, "backward before forward");
         let (n, h, w) = self.input_hw;
         let g_rows = nchw_to_rows(grad_out);
@@ -491,11 +507,18 @@ impl ApproxLinear {
 
 impl Module for ApproxLinear {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let obs = appmult_obs::global();
+        let _span = obs.span("linear.forward");
         assert_eq!(input.shape().len(), 2, "expected [N, in] input");
         assert_eq!(input.shape()[1], self.in_features(), "feature mismatch");
         let bits = self.lut.bits();
         if train || self.observer.range().is_none() {
+            let rejected_before = self.observer.rejected();
             self.observer.observe(input);
+            let rejected = self.observer.rejected() - rejected_before;
+            if rejected > 0 {
+                obs.counter_add("observer.rejections", rejected as u64);
+            }
         }
         let xq_params = self.observer.quant_params(bits);
         let (wlo, whi) = self.weight.value.min_max();
@@ -522,6 +545,7 @@ impl Module for ApproxLinear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = appmult_obs::global().span("linear.backward");
         assert!(self.cache.m > 0, "backward before forward");
         let (dw, dx) = gemm_backward(&self.cache, &self.grads, grad_out, Pool::global());
         self.weight.grad.add_scaled(&dw, 1.0);
@@ -708,6 +732,92 @@ mod tests {
         let (y2, dx2) = run(diff);
         assert_eq!(y1, y2, "forward must not depend on the gradient mode");
         assert_ne!(dx1, dx2, "backward must depend on the gradient mode");
+    }
+
+    #[test]
+    fn approx_linear_gradcheck_under_every_gradient_mode() {
+        // Finite differences cannot see through the quantized LUT (the
+        // float function is piecewise constant), so — as in the conv
+        // gradcheck below — each mode's backward pass is checked against a
+        // direct evaluation of the Eq. 9 sums using that mode's own
+        // gradient tables, clip masks included.
+        let lut = Arc::new(TruncatedMultiplier::new(8, 6).to_lut());
+        let n = lut.entries().len();
+        let custom = GradientMode::Custom {
+            wrt_w: Arc::new((0..n).map(|i| (i % 7) as f32 * 0.25).collect()),
+            wrt_x: Arc::new((0..n).map(|i| (i % 5) as f32 * 0.5).collect()),
+        };
+        let modes = vec![
+            GradientMode::Ste,
+            GradientMode::difference_based(8),
+            GradientMode::RawDifference,
+            GradientMode::DifferenceEdgeClamped { hws: 8 },
+            custom,
+        ];
+        let (m, j, k) = (2usize, 3usize, 4usize);
+        for mode in modes {
+            let label = mode.label();
+            let grads = Arc::new(GradientLut::build(&lut, mode));
+            let mut layer = ApproxLinear::with_params(
+                ramp(&[j, k], 1.1),
+                Tensor::zeros(&[j]),
+                lut.clone(),
+                grads.clone(),
+                QuantConfig::default(),
+            );
+            let x = ramp(&[m, k], 1.6);
+            layer.forward(&x, true);
+            let g = ramp(&[m, j], 0.9);
+            let dx = layer.backward(&g);
+
+            let c = &layer.cache;
+            let wqp = c.wq_params.expect("populated");
+            let xqp = c.xq_params.expect("populated");
+            // dX: dL/dx[mi][kk] = sum_j g * s_w * (gX(w, x) - Z_w), gated
+            // by the Q'(x) clip mask.
+            for mi in 0..m {
+                for kk in 0..k {
+                    let mut expect = 0.0f32;
+                    for ji in 0..j {
+                        let iw = u32::from(c.wq[ji * k + kk]);
+                        let ix = u32::from(c.xq[mi * k + kk]);
+                        expect += g.at(&[mi, ji])
+                            * wqp.scale
+                            * (grads.wrt_x(iw, ix) - wqp.zero_point as f32);
+                    }
+                    if !c.xclip[mi * k + kk] {
+                        expect = 0.0;
+                    }
+                    let got = dx.at(&[mi, kk]);
+                    assert!(
+                        (got - expect).abs() < 1e-4,
+                        "{label}: dX[{mi},{kk}] = {got} vs {expect}"
+                    );
+                }
+            }
+            // dW: dL/dw[ji][kk] = sum_m g * s_x * (gW(w, x) - Z_x), gated
+            // by the Q'(w) clip mask.
+            for ji in 0..j {
+                for kk in 0..k {
+                    let mut expect = 0.0f32;
+                    for mi in 0..m {
+                        let iw = u32::from(c.wq[ji * k + kk]);
+                        let ix = u32::from(c.xq[mi * k + kk]);
+                        expect += g.at(&[mi, ji])
+                            * xqp.scale
+                            * (grads.wrt_w(iw, ix) - xqp.zero_point as f32);
+                    }
+                    if !c.wclip[ji * k + kk] {
+                        expect = 0.0;
+                    }
+                    let got = layer.weight.grad.at(&[ji, kk]);
+                    assert!(
+                        (got - expect).abs() < 1e-4,
+                        "{label}: dW[{ji},{kk}] = {got} vs {expect}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ impl Default for ResiliencePolicy {
 /// Zeroes non-finite gradient entries and clips the global gradient norm.
 /// Returns the number of entries scrubbed.
 pub(crate) fn scrub_and_clip(model: &mut dyn Module, max_grad_norm: Option<f32>) -> usize {
+    let obs = appmult_obs::global();
     let mut scrubbed = 0usize;
     let mut sq_sum = 0f64;
     model.visit_params(&mut |p| {
@@ -78,7 +79,11 @@ pub(crate) fn scrub_and_clip(model: &mut dyn Module, max_grad_norm: Option<f32>)
                     *g *= scale;
                 }
             });
+            obs.counter_add("resilience.norm_clips", 1);
         }
+    }
+    if scrubbed > 0 {
+        obs.counter_add("resilience.scrubbed_grads", scrubbed as u64);
     }
     scrubbed
 }
@@ -143,6 +148,18 @@ impl RollbackGuard {
             self.lr_scale *= self.policy.lr_backoff;
             self.rollbacks_used += 1;
             self.consecutive_bad = 0;
+            let obs = appmult_obs::global();
+            obs.counter_add("resilience.rollbacks", 1);
+            obs.event(
+                "rollback",
+                &[
+                    ("epoch_loss", epoch_loss.into()),
+                    ("best_loss", self.best_loss.into()),
+                    ("hard", hard.into()),
+                    ("lr_scale", self.lr_scale.into()),
+                    ("rollbacks_used", self.rollbacks_used.into()),
+                ],
+            );
             return 1;
         }
         if !hard && epoch_loss < self.best_loss {
@@ -163,6 +180,7 @@ fn checkpoint(model: &mut dyn Module) -> Vec<u8> {
 mod tests {
     use super::*;
     use appmult_nn::layers::{Linear, Sequential};
+    use appmult_nn::optim::{Adam, Optimizer, Sgd};
     use appmult_nn::Tensor;
 
     fn model() -> Sequential {
@@ -259,6 +277,76 @@ mod tests {
         // A recovery epoch resets the streak.
         assert_eq!(guard.observe_epoch(&mut m, 1.5, false), 0);
         assert_eq!(guard.observe_epoch(&mut m, 5.0, false), 0);
+    }
+
+    /// Fills every gradient with a deterministic ramp so optimizer steps
+    /// are reproducible across the actual and reference runs.
+    fn set_ramp_grads(m: &mut Sequential, scale: f32) {
+        m.visit_params(&mut |p| {
+            for (i, g) in p.grad.as_mut_slice().iter_mut().enumerate() {
+                *g = scale * (i as f32 + 1.0);
+            }
+        });
+    }
+
+    /// A rollback restores parameters bit-for-bit while the optimizer keeps
+    /// its accumulated state (momentum / Adam moments). The first step after
+    /// a rollback must therefore equal a step taken from (checkpoint
+    /// parameters, the optimizer state at divergence time) — verified here
+    /// against a hand-built reference for both SGD and Adam.
+    fn rollback_round_trips_optimizer_state<O: Optimizer + Clone>(mut opt: O) {
+        let mut m = model();
+        let mut guard = RollbackGuard::new(ResiliencePolicy::default(), &mut m);
+
+        // Warm the optimizer state with a few deterministic steps.
+        for step in 0..3 {
+            set_ramp_grads(&mut m, 0.1 * (step + 1) as f32);
+            opt.step(&mut m);
+        }
+        // A healthy epoch captures the checkpoint.
+        assert_eq!(guard.observe_epoch(&mut m, 1.0, false), 0);
+        let checkpoint_params = params_of(&mut m);
+
+        // Further steps drift the weights and advance the optimizer state.
+        for step in 0..3 {
+            set_ramp_grads(&mut m, 0.2 * (step + 1) as f32);
+            opt.step(&mut m);
+        }
+        let opt_at_divergence = opt.clone();
+
+        // The poisoned epoch rolls the parameters back through the
+        // serializer round trip...
+        assert_eq!(guard.observe_epoch(&mut m, f64::NAN, true), 1);
+        assert_eq!(
+            params_of(&mut m),
+            checkpoint_params,
+            "rollback must restore parameters bit-for-bit"
+        );
+
+        // ...and the next step must match the reference exactly.
+        let mut reference = model();
+        let mut it = checkpoint_params.into_iter();
+        reference.visit_params(&mut |p| p.value = it.next().expect("same architecture"));
+        let mut ref_opt = opt_at_divergence;
+        set_ramp_grads(&mut m, 0.3);
+        set_ramp_grads(&mut reference, 0.3);
+        opt.step(&mut m);
+        ref_opt.step(&mut reference);
+        assert_eq!(
+            params_of(&mut m),
+            params_of(&mut reference),
+            "post-rollback step must be reproducible from (checkpoint, state)"
+        );
+    }
+
+    #[test]
+    fn sgd_state_round_trips_through_a_rollback() {
+        rollback_round_trips_optimizer_state(Sgd::new(0.05, 0.9));
+    }
+
+    #[test]
+    fn adam_state_round_trips_through_a_rollback() {
+        rollback_round_trips_optimizer_state(Adam::new(0.01));
     }
 
     #[test]

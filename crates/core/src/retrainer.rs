@@ -4,6 +4,7 @@ use appmult_nn::loss::softmax_cross_entropy;
 use appmult_nn::metrics::{top_k_accuracy, RunningMean};
 use appmult_nn::optim::{Optimizer, StepSchedule};
 use appmult_nn::{Module, Tensor};
+use appmult_obs::ObsSink;
 
 use crate::resilience::{ResiliencePolicy, RollbackGuard};
 
@@ -27,6 +28,11 @@ pub struct RetrainConfig {
     /// the legacy loop numerics untouched; set it when retraining against
     /// defective hardware (see the `appmult-mult` fault models).
     pub resilience: Option<ResiliencePolicy>,
+    /// Observability sink for the loop's spans, metrics, and per-epoch
+    /// events. Defaults to the no-op null sink; gradient-norm and
+    /// weight-update statistics (which cost an extra pass over the
+    /// parameters) are only computed when the sink records.
+    pub obs: ObsSink,
 }
 
 impl Default for RetrainConfig {
@@ -36,6 +42,7 @@ impl Default for RetrainConfig {
             schedule: StepSchedule::paper_default(),
             eval_every: 1,
             resilience: None,
+            obs: ObsSink::null(),
         }
     }
 }
@@ -48,12 +55,19 @@ impl RetrainConfig {
             schedule: StepSchedule::new(vec![(1, 1e-3)]),
             eval_every: 1,
             resilience: None,
+            obs: ObsSink::null(),
         }
     }
 
     /// Enables the given resilience policy (builder style).
     pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = Some(policy);
+        self
+    }
+
+    /// Attaches an observability sink (builder style).
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -169,21 +183,27 @@ pub fn retrain(
     test: &[Batch],
 ) -> RetrainHistory {
     assert!(!train.is_empty(), "no training batches");
+    let obs = &config.obs;
+    let _run_span = obs.span("retrain");
     let mut history = RetrainHistory::default();
     let mut guard = config
         .resilience
         .clone()
         .map(|policy| RollbackGuard::new(policy, model));
     for epoch in 1..=config.epochs {
+        let _epoch_span = obs.span("epoch");
         let lr_scale = guard.as_ref().map_or(1.0, |g| g.lr_scale);
         let lr = config.schedule.lr_for_epoch(epoch) * lr_scale;
         optimizer.set_lr(lr);
+        obs.gauge_set("lr", f64::from(lr));
         let mut loss_mean = RunningMean::new();
+        let mut grad_norm_mean = RunningMean::new();
         let mut scrubbed_grads = 0usize;
         let mut nonfinite_batches = 0usize;
         // Deterministic batch-order shuffle that varies per epoch.
         let order = shuffled_order(train.len(), epoch as u64);
         for &bi in &order {
+            let _batch_span = obs.span("batch");
             let (x, labels) = &train[bi];
             let logits = model.forward(x, true);
             let (loss, grad) = softmax_cross_entropy(&logits, labels);
@@ -191,7 +211,22 @@ pub fn retrain(
             if let Some(g) = &guard {
                 scrubbed_grads += g.scrub(model);
             }
+            // Gradient statistics cost a pass over the parameters, so they
+            // are gated on a recording sink rather than free-running.
+            let pre_step = if obs.is_enabled() {
+                let norm = gradient_norm(model);
+                obs.observe("grad_norm", norm);
+                if norm.is_finite() {
+                    grad_norm_mean.add(norm, 1);
+                }
+                Some(flat_params(model))
+            } else {
+                None
+            };
             optimizer.step(model);
+            if let Some(pre) = pre_step {
+                obs.observe("weight_update_magnitude", update_magnitude(model, &pre));
+            }
             model.zero_grad();
             if guard.is_some() && !loss.is_finite() {
                 nonfinite_batches += 1;
@@ -206,11 +241,29 @@ pub fn retrain(
         let evaluate_now =
             !test.is_empty() && (epoch % config.eval_every == 0 || epoch == config.epochs);
         let (t1, t5) = if evaluate_now {
+            let _eval_span = obs.span("eval");
             let (a, b) = evaluate(model, test);
             (Some(a), Some(b))
         } else {
             (None, None)
         };
+        if obs.is_enabled() {
+            let mut fields: Vec<(&str, appmult_obs::Value)> = vec![
+                ("epoch", epoch.into()),
+                ("lr", lr.into()),
+                ("train_loss", train_loss.into()),
+                ("grad_norm", grad_norm_mean.mean().into()),
+                ("scrubbed_grads", scrubbed_grads.into()),
+                ("rollbacks", rollbacks.into()),
+            ];
+            if let Some(t1) = t1 {
+                fields.push(("test_top1", t1.into()));
+            }
+            if let Some(t5) = t5 {
+                fields.push(("test_top5", t5.into()));
+            }
+            obs.event("epoch", &fields);
+        }
         history.epochs.push(EpochStats {
             epoch,
             lr,
@@ -222,6 +275,43 @@ pub fn retrain(
         });
     }
     history
+}
+
+/// Global L2 norm of the model's current gradients (finite entries only,
+/// matching the resilience scrubber's definition).
+fn gradient_norm(model: &mut dyn Module) -> f64 {
+    let mut sq_sum = 0f64;
+    model.visit_params(&mut |p| {
+        for g in p.grad.as_slice() {
+            if g.is_finite() {
+                sq_sum += f64::from(*g) * f64::from(*g);
+            }
+        }
+    });
+    sq_sum.sqrt()
+}
+
+/// Flat copy of every parameter value, for update-magnitude deltas.
+fn flat_params(model: &mut dyn Module) -> Vec<f32> {
+    let mut flat = Vec::new();
+    model.visit_params(&mut |p| flat.extend_from_slice(p.value.as_slice()));
+    flat
+}
+
+/// L2 norm of the parameter change relative to the `pre` snapshot.
+fn update_magnitude(model: &mut dyn Module, pre: &[f32]) -> f64 {
+    let mut sq_sum = 0f64;
+    let mut idx = 0usize;
+    model.visit_params(&mut |p| {
+        for v in p.value.as_slice() {
+            let d = f64::from(v - pre[idx]);
+            if d.is_finite() {
+                sq_sum += d * d;
+            }
+            idx += 1;
+        }
+    });
+    sq_sum.sqrt()
 }
 
 /// Deterministic permutation of `0..len` derived from `seed`
@@ -289,6 +379,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 1,
             resilience: None,
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         assert_eq!(history.epochs.len(), 5);
@@ -312,6 +403,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-3), (3, 1e-4)]),
             eval_every: 10,
             resilience: None,
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
         assert_eq!(history.epochs[0].lr, 1e-3);
@@ -331,6 +423,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-3)]),
             eval_every: 2,
             resilience: None,
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         assert!(history.epochs[0].test_top1.is_none());
@@ -350,6 +443,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 1,
             resilience: None,
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
         assert!(history.final_train_loss().is_nan());
@@ -368,6 +462,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 1,
             resilience: Some(crate::ResiliencePolicy::default()),
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         // The poisoned batch keeps firing, so the guard must have stepped in.
@@ -430,6 +525,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 1,
             resilience: Some(crate::ResiliencePolicy::default()),
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         // The poisoned batch fires every epoch; each firing must be
@@ -461,6 +557,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 10,
             resilience: Some(crate::ResiliencePolicy::default()),
+            obs: ObsSink::null(),
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &[]);
         assert_eq!(history.epochs[0].lr, 1e-2);
@@ -479,6 +576,7 @@ mod tests {
             schedule: StepSchedule::new(vec![(1, 1e-2)]),
             eval_every: 10,
             resilience: None,
+            obs: ObsSink::null(),
         };
         let cfg_guarded = RetrainConfig {
             resilience: Some(crate::ResiliencePolicy {
@@ -498,6 +596,86 @@ mod tests {
         for (a, b) in h1.epochs.iter().zip(&h2.epochs) {
             assert_eq!(a.train_loss, b.train_loss, "healthy runs must match");
             assert_eq!(a.lr, b.lr);
+        }
+    }
+
+    #[test]
+    fn recording_sink_captures_epoch_events_spans_and_gradient_stats() {
+        let train = two_blob_batches(2, 3);
+        let test = two_blob_batches(1, 9);
+        let mut model = tiny_model(4);
+        let mut opt = Adam::new(1e-2);
+        let obs = ObsSink::recording();
+        let cfg = RetrainConfig {
+            epochs: 2,
+            schedule: StepSchedule::new(vec![(1, 1e-2)]),
+            eval_every: 1,
+            resilience: None,
+            obs: obs.clone(),
+        };
+        let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
+
+        // One epoch event per epoch, with the loss the history reports.
+        let events = obs.events();
+        let epochs: Vec<_> = events.iter().filter(|e| e.kind == "epoch").collect();
+        assert_eq!(epochs.len(), 2);
+        for (event, stats) in epochs.iter().zip(&history.epochs) {
+            let loss = event
+                .fields
+                .iter()
+                .find(|(k, _)| k == "train_loss")
+                .map(|(_, v)| v.clone());
+            assert_eq!(loss, Some(appmult_obs::Value::F64(stats.train_loss)));
+            assert!(event.fields.iter().any(|(k, _)| k == "test_top1"));
+        }
+
+        // Hierarchical spans: one run, two epochs, 2 batches per epoch.
+        assert_eq!(obs.histogram("span.retrain").expect("run span").count, 1);
+        assert_eq!(
+            obs.histogram("span.retrain/epoch").expect("epochs").count,
+            2
+        );
+        assert_eq!(
+            obs.histogram("span.retrain/epoch/batch")
+                .expect("batches")
+                .count,
+            4
+        );
+        assert_eq!(
+            obs.histogram("span.retrain/epoch/eval")
+                .expect("evals")
+                .count,
+            2
+        );
+        // Per-batch gradient statistics were recorded.
+        assert_eq!(obs.histogram("grad_norm").expect("grad norms").count, 4);
+        assert_eq!(
+            obs.histogram("weight_update_magnitude")
+                .expect("updates")
+                .count,
+            4
+        );
+    }
+
+    #[test]
+    fn recording_sink_does_not_change_training_numerics() {
+        let train = two_blob_batches(4, 3);
+        let run = |obs: ObsSink| {
+            let mut model = tiny_model(6);
+            let mut opt = Adam::new(1e-2);
+            let cfg = RetrainConfig {
+                epochs: 3,
+                schedule: StepSchedule::new(vec![(1, 1e-2)]),
+                eval_every: 10,
+                resilience: None,
+                obs,
+            };
+            retrain(&mut model, &mut opt, &cfg, &train, &[])
+        };
+        let plain = run(ObsSink::null());
+        let observed = run(ObsSink::recording());
+        for (a, b) in plain.epochs.iter().zip(&observed.epochs) {
+            assert_eq!(a.train_loss, b.train_loss, "observability must be passive");
         }
     }
 

@@ -1,11 +1,23 @@
 //! Randomized property tests for quantization and gradient approximation.
 //!
-//! Deterministic cases drawn from the in-tree `appmult-rng` stream
-//! (proptest is unavailable in the offline build environment).
+//! Integer-operand properties use the vendored `appmult_rng::prop`
+//! harness (seeded generation, domain corners always included, failures
+//! shrunk toward the origin); the float-domain quantization checks keep
+//! direct draws from the `Rng64` stream, which the harness does not model.
 
 use appmult_mult::{ExactMultiplier, Multiplier, TruncatedMultiplier};
 use appmult_retrain::{smooth_row, GradientLut, GradientMode, QuantParams};
-use appmult_rng::Rng64;
+use appmult_rng::{prop, Rng64};
+
+const CASES: usize = 128;
+
+/// Deterministic pseudo-random LUT row for smoothing properties: value
+/// pattern is fixed per `seed`, wild enough to have jumps and plateaus.
+fn synthetic_row(seed: u32, len: u32) -> Vec<u32> {
+    (0..len)
+        .map(|x| (x.wrapping_mul(seed) >> 3) % 997)
+        .collect()
+}
 
 /// Quantization round trip stays within half a step inside the range.
 #[test]
@@ -56,76 +68,129 @@ fn zero_is_exact() {
 }
 
 /// Smoothing always stays within the row's min/max envelope.
+///
+/// Operand pair: (row seed, HWS - 1).
 #[test]
 fn smoothing_stays_in_envelope() {
-    let mut rng = Rng64::seed_from_u64(0xD4);
-    for _ in 0..64 {
-        let seed = rng.below(1000) as u32;
-        let hws = 1 + rng.below(7) as u32;
-        let row: Vec<u32> = (0..64u32)
-            .map(|x| (x.wrapping_mul(seed) >> 3) % 997)
-            .collect();
-        let lo = *row.iter().min().expect("nonempty") as f64;
-        let hi = *row.iter().max().expect("nonempty") as f64;
-        for s in smooth_row(&row, hws).into_iter().flatten() {
-            assert!(s >= lo - 1e-9 && s <= hi + 1e-9);
-        }
-    }
+    prop::forall_pairs("Eq. 4 envelope", 0xD4, CASES, 999, 6, |seed, h| {
+        let hws = 1 + h as u32;
+        let row = synthetic_row(seed as u32, 64);
+        let lo = f64::from(*row.iter().min().expect("nonempty"));
+        let hi = f64::from(*row.iter().max().expect("nonempty"));
+        smooth_row(&row, hws)
+            .into_iter()
+            .flatten()
+            .all(|s| s >= lo - 1e-9 && s <= hi + 1e-9)
+    });
+}
+
+/// The Eq. 4 window `[X - HWS, X + HWS]` is symmetric, so smoothing
+/// commutes with reversing the row: `S(reverse(row)) == reverse(S(row))`,
+/// `None` positions included. An off-center window implementation (e.g.
+/// a trailing average) fails this immediately.
+///
+/// Operand pair: (row seed, HWS - 1).
+#[test]
+fn smoothing_window_is_symmetric() {
+    prop::forall_pairs("Eq. 4 window symmetry", 0xD8, CASES, 999, 6, |seed, h| {
+        let hws = 1 + h as u32;
+        let row = synthetic_row(seed as u32, 64);
+        let mut reversed = row.clone();
+        reversed.reverse();
+        let mut mirrored = smooth_row(&row, hws);
+        mirrored.reverse();
+        let smoothed_reversed = smooth_row(&reversed, hws);
+        mirrored
+            .iter()
+            .zip(&smoothed_reversed)
+            .all(|(a, b)| match (a, b) {
+                (None, None) => true,
+                (Some(u), Some(v)) => (u - v).abs() < 1e-9,
+                _ => false,
+            })
+    });
+}
+
+/// Smoothing a constant row is the identity on the valid domain: the
+/// mean of `2 HWS + 1` equal values is that value (Eq. 4 fixed point).
+///
+/// Operand pair: (constant value, HWS - 1).
+#[test]
+fn smoothing_fixes_constant_rows() {
+    prop::forall_pairs(
+        "Eq. 4 constant fixed point",
+        0xD9,
+        CASES,
+        4095,
+        6,
+        |c, h| {
+            let hws = 1 + h as u32;
+            let row = vec![c as u32; 64];
+            smooth_row(&row, hws)
+                .into_iter()
+                .flatten()
+                .all(|s| (s - c as f64).abs() < 1e-9)
+        },
+    );
 }
 
 /// For the exact multiplier, the difference-based interior gradient
 /// equals the STE gradient (sanity: the method generalizes STE).
+///
+/// Operand pair: (W, X); the comparison applies on the smoothed interior
+/// of each table's domain.
 #[test]
 fn diff_gradient_of_exact_equals_ste() {
     let lut = ExactMultiplier::new(6).to_lut();
     let ours = GradientLut::build(&lut, GradientMode::difference_based(4));
     let ste = GradientLut::build(&lut, GradientMode::Ste);
-    let mut rng = Rng64::seed_from_u64(0xD5);
-    for _ in 0..64 {
-        let w = rng.below(64) as u32;
-        let x = 5 + rng.below(53) as u32;
-        assert!((ours.wrt_x(w, x) - ste.wrt_x(w, x)).abs() < 1e-3);
-        if (5..58).contains(&w) {
-            assert!((ours.wrt_w(w, x) - ste.wrt_w(w, x)).abs() < 1e-3);
-        }
-    }
+    prop::forall_pairs("exact diff-gradient == STE", 0xD5, CASES, 63, 63, |w, x| {
+        let (w, x) = (w as u32, x as u32);
+        let x_interior = (5..58).contains(&x);
+        let w_interior = (5..58).contains(&w);
+        (!x_interior || (ours.wrt_x(w, x) - ste.wrt_x(w, x)).abs() < 1e-3)
+            && (!w_interior || (ours.wrt_w(w, x) - ste.wrt_w(w, x)).abs() < 1e-3)
+    });
 }
 
-/// Difference-based gradients are bounded by the largest local change
-/// of the (smoothed) function — never the wild spikes of the raw rows.
+/// The Eq. 5 (interior difference quotient) and Eq. 6 (boundary total
+/// variation) gradient tables are finite and bounded by half the maximum
+/// product per unit operand — never the wild spikes of the raw rows.
+///
+/// Operand pair: (removed columns K - 1, HWS - 1); each case checks the
+/// full 64 x 64 table exhaustively.
 #[test]
 fn gradients_are_finite_and_bounded() {
-    let mut rng = Rng64::seed_from_u64(0xD6);
-    for _ in 0..12 {
-        let k = 1 + rng.below(9) as u32;
-        let hws = 1 + rng.below(15) as u32;
+    let cases = if cfg!(debug_assertions) { 24 } else { CASES };
+    prop::forall_pairs("Eq. 5/6 table bounds", 0xD6, cases, 8, 15, |kk, hh| {
+        let k = 1 + kk as u32;
+        let hws = 1 + hh as u32;
         let lut = TruncatedMultiplier::new(6, k).to_lut();
         let g = GradientLut::build(&lut, GradientMode::difference_based(hws));
-        let bound = (63.0f32 * 63.0) / 2.0; // half the max product per unit X
-        for w in 0..64 {
-            for x in 0..64 {
-                let v = g.wrt_x(w, x);
-                assert!(v.is_finite() && v.abs() <= bound, "({w},{x}) = {v}");
-            }
-        }
-    }
+        let bound = f64::from(63u32 * 63) / 2.0; // half the max product per unit operand
+        (0..64u32).all(|w| {
+            (0..64u32).all(|x| {
+                let dx = f64::from(g.wrt_x(w, x));
+                let dw = f64::from(g.wrt_w(w, x));
+                dx.is_finite() && dx.abs() <= bound && dw.is_finite() && dw.abs() <= bound
+            })
+        })
+    });
 }
 
 /// Gradients of a truncated multiplier are non-negative (the function
 /// is monotone non-decreasing in each operand).
+///
+/// Operand pair: (removed columns K - 1, log2 HWS); each case checks the
+/// full 64 x 64 table exhaustively.
 #[test]
 fn truncated_gradients_nonnegative() {
-    let mut rng = Rng64::seed_from_u64(0xD7);
-    for _ in 0..12 {
-        let k = 1 + rng.below(9) as u32;
-        let hws = 1u32 << rng.below(5);
+    let cases = if cfg!(debug_assertions) { 24 } else { CASES };
+    prop::forall_pairs("truncated gradients >= 0", 0xD7, cases, 8, 4, |kk, he| {
+        let k = 1 + kk as u32;
+        let hws = 1u32 << he;
         let lut = TruncatedMultiplier::new(6, k).to_lut();
         let g = GradientLut::build(&lut, GradientMode::difference_based(hws));
-        for w in 0..64 {
-            for x in 0..64 {
-                assert!(g.wrt_x(w, x) >= 0.0);
-                assert!(g.wrt_w(w, x) >= 0.0);
-            }
-        }
-    }
+        (0..64u32).all(|w| (0..64u32).all(|x| g.wrt_x(w, x) >= 0.0 && g.wrt_w(w, x) >= 0.0))
+    });
 }

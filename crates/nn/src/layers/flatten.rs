@@ -47,6 +47,7 @@ impl Module for Flatten {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gradcheck::check_module;
 
     #[test]
     fn round_trip_preserves_data() {
@@ -56,5 +57,17 @@ mod tests {
         assert_eq!(y.shape(), &[2, 12]);
         let back = f.backward(&y);
         assert_eq!(back, x);
+    }
+
+    #[test]
+    fn gradcheck_matches_finite_differences() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(
+            (0..24).map(|v| v as f32 * 0.1 - 1.0).collect(),
+            &[2, 3, 2, 2],
+        );
+        let r = check_module(&mut f, &x, 12, 1e-3);
+        assert!(r.max_rel_err < 1e-3, "{}", r.summary());
+        assert_eq!(r.checked, 24, "all input coordinates sampled");
     }
 }

@@ -150,6 +150,23 @@ mod tests {
     }
 
     #[test]
+    fn save_load_save_is_byte_identical() {
+        // The format must be canonical: re-serializing a freshly loaded
+        // model reproduces the original byte stream exactly, so checkpoint
+        // files can be compared/deduplicated by hash.
+        let mut src = model(7);
+        let mut first = Vec::new();
+        save_params(&mut src, &mut first).expect("serialize");
+
+        let mut dst = model(999); // different init
+        load_params(&mut dst, first.as_slice()).expect("deserialize");
+        let mut second = Vec::new();
+        save_params(&mut dst, &mut second).expect("re-serialize");
+
+        assert_eq!(first, second, "round trip must be byte-identical");
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let mut m = model(1);
         let err = load_params(&mut m, &b"NOPE"[..]).unwrap_err();

@@ -120,8 +120,12 @@ impl Pool {
         );
         let rows = out.len() / row_len;
         let workers = self.threads.min(rows).max(1);
+        // Per-worker busy-time attribution (a no-op branch unless a
+        // recording sink is installed process-wide).
+        let obs = appmult_obs::global();
         if workers == 1 {
             if rows > 0 {
+                let _span = obs.span("pool.worker");
                 f(0, out);
             }
             return;
@@ -138,12 +142,17 @@ impl Pool {
                 let start = first_row;
                 first_row += chunk_rows;
                 let f = &f;
+                let obs = &obs;
                 if w + 1 == workers {
                     // Run the final chunk on the calling thread; the scope
                     // still joins the spawned workers before returning.
+                    let _span = obs.span("pool.worker");
                     f(start, chunk);
                 } else {
-                    scope.spawn(move || f(start, chunk));
+                    scope.spawn(move || {
+                        let _span = obs.span("pool.worker");
+                        f(start, chunk);
+                    });
                 }
             }
         });
@@ -271,6 +280,31 @@ mod tests {
     fn ragged_buffer_is_rejected() {
         let mut out = vec![0u8; 7];
         Pool::new(2).run_rows(&mut out, 3, |_, _| {});
+    }
+
+    /// With a recording sink installed, every chunk shows up as a
+    /// `pool.worker` span and spawned workers appear in the per-thread
+    /// busy map.
+    #[test]
+    fn worker_busy_time_is_attributed_when_recording() {
+        let obs = appmult_obs::ObsSink::recording();
+        appmult_obs::set_global(&obs);
+        let mut out = vec![0u64; 4 * 8];
+        Pool::new(4).run_rows(&mut out, 8, |first, chunk| {
+            for (r, row) in chunk.chunks_mut(8).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (first + r) as u64;
+                }
+            }
+        });
+        appmult_obs::set_global(&appmult_obs::ObsSink::null());
+        let hist = obs
+            .histogram("span.pool.worker")
+            .expect("worker spans recorded");
+        // >= rather than ==: sibling tests running concurrently may also
+        // hit the global sink while it is installed.
+        assert!(hist.count >= 4, "count {}", hist.count);
+        assert!(obs.to_json().contains("\"busy_us\":"));
     }
 
     #[test]

@@ -192,6 +192,142 @@ impl Rng64 {
     }
 }
 
+/// Minimal `forall`-style property-test harness with seeded shrinking.
+///
+/// The offline build cannot depend on `proptest`/`quickcheck`, so the
+/// workspace vendors the 10% of them its tests actually use: generate a
+/// deterministic stream of integer operand pairs, check a predicate on
+/// each, and on failure greedily shrink the failing pair toward `(0, 0)`
+/// before reporting — a minimal counterexample is worth far more than the
+/// random one that happened to trip the property.
+///
+/// # Example
+///
+/// ```
+/// use appmult_rng::prop;
+///
+/// // Multiplication commutes: never fails, runs all cases.
+/// prop::forall_pairs("mul commutes", 0xC0, 128, 255, 255, |w, x| w * x == x * w);
+///
+/// // A broken property yields the minimal failing pair.
+/// let ce = prop::check_pairs(0xC1, 128, 255, 255, |w, x| w < 37 || x < 5);
+/// assert_eq!(ce.unwrap_err().pair, (37, 5));
+/// ```
+pub mod prop {
+    use super::Rng64;
+
+    /// A failing operand pair, after shrinking.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Counterexample {
+        /// The minimal failing pair found by shrinking.
+        pub pair: (u64, u64),
+        /// The originally generated failing pair (before shrinking).
+        pub original: (u64, u64),
+        /// Zero-based index of the failing case in the generated stream.
+        pub case: usize,
+    }
+
+    impl std::fmt::Display for Counterexample {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "minimal counterexample (w, x) = {:?} (shrunk from {:?}, case {})",
+                self.pair, self.original, self.case
+            )
+        }
+    }
+
+    /// Greedy shrink toward `(0, 0)`: repeatedly try halving or
+    /// decrementing each operand, keeping any candidate that still fails.
+    /// Terminates because every accepted step strictly reduces `w + x`.
+    fn shrink(mut w: u64, mut x: u64, prop: &impl Fn(u64, u64) -> bool) -> (u64, u64) {
+        loop {
+            let candidates = [
+                (w / 2, x / 2),
+                (w / 2, x),
+                (w, x / 2),
+                (w.saturating_sub(1), x),
+                (w, x.saturating_sub(1)),
+            ];
+            match candidates
+                .into_iter()
+                .find(|&(cw, cx)| (cw, cx) != (w, x) && !prop(cw, cx))
+            {
+                Some((cw, cx)) => (w, x) = (cw, cx),
+                None => return (w, x),
+            }
+        }
+    }
+
+    /// Checks `prop(w, x)` over `cases` deterministic pairs drawn from
+    /// `[0, w_max] x [0, x_max]` (bounds inclusive).
+    ///
+    /// The four corners of the domain are always checked first — edge
+    /// cases like `(0, 0)` and `(max, max)` must not depend on the luck of
+    /// the seed — and the remainder of the stream is seeded uniform draws.
+    /// On failure the pair is shrunk and returned as a [`Counterexample`];
+    /// on success returns the number of cases run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shrunk [`Counterexample`] for the first failing case.
+    pub fn check_pairs(
+        seed: u64,
+        cases: usize,
+        w_max: u64,
+        x_max: u64,
+        prop: impl Fn(u64, u64) -> bool,
+    ) -> Result<usize, Counterexample> {
+        let mut corners = vec![(0, 0), (0, x_max), (w_max, 0), (w_max, x_max)];
+        corners.dedup();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut run = 0usize;
+        for case in 0..cases {
+            let (w, x) = corners
+                .get(case)
+                .copied()
+                .unwrap_or_else(|| (rng.below(w_max + 1), rng.below(x_max + 1)));
+            if !prop(w, x) {
+                return Err(Counterexample {
+                    pair: shrink(w, x, &prop),
+                    original: (w, x),
+                    case,
+                });
+            }
+            run += 1;
+        }
+        Ok(run)
+    }
+
+    /// Like [`check_pairs`], but panics with a labelled report on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` fails for any generated pair, naming `what`, the
+    /// seed, and the minimal shrunk counterexample.
+    pub fn forall_pairs(
+        what: &str,
+        seed: u64,
+        cases: usize,
+        w_max: u64,
+        x_max: u64,
+        prop: impl Fn(u64, u64) -> bool,
+    ) {
+        if let Err(ce) = check_pairs(seed, cases, w_max, x_max, prop) {
+            panic!("property '{what}' failed (seed {seed:#x}): {ce}");
+        }
+    }
+
+    /// Single-operand variant of [`forall_pairs`] over `[0, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` fails for any generated value, after shrinking.
+    pub fn forall_u64(what: &str, seed: u64, cases: usize, max: u64, prop: impl Fn(u64) -> bool) {
+        forall_pairs(what, seed, cases, max, 0, |v, _| prop(v));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +432,43 @@ mod tests {
         let hits = (0..20_000).filter(|_| rng.chance(0.25)).count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn prop_passing_property_runs_all_cases() {
+        assert_eq!(
+            prop::check_pairs(1, 200, 100, 100, |w, x| w + x <= 200),
+            Ok(200)
+        );
+    }
+
+    #[test]
+    fn prop_shrinks_to_the_minimal_failing_pair() {
+        let ce = prop::check_pairs(2, 64, 1023, 1023, |w, x| !(w >= 37 && x >= 5)).unwrap_err();
+        assert_eq!(ce.pair, (37, 5), "{ce}");
+        assert!(ce.original.0 >= 37 && ce.original.1 >= 5);
+    }
+
+    #[test]
+    fn prop_corners_do_not_depend_on_seed_luck() {
+        // Fails only at the far corner: with just 4 cases the corner sweep
+        // must still find it, whatever the seed.
+        for seed in 0..8 {
+            let ce = prop::check_pairs(seed, 4, 512, 512, |w, x| !(w == 512 && x == 512))
+                .expect_err("corner must be generated");
+            assert_eq!(ce.original, (512, 512));
+            assert_eq!(ce.pair, (512, 512), "nothing smaller fails");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'demo' failed")]
+    fn prop_forall_panics_with_label() {
+        prop::forall_pairs("demo", 4, 16, 10, 10, |_, _| false);
+    }
+
+    #[test]
+    fn prop_single_operand_wrapper_bounds_values() {
+        prop::forall_u64("v stays in range", 5, 100, 77, |v| v <= 77);
     }
 }

@@ -39,6 +39,7 @@ fn main() {
         schedule: StepSchedule::new(vec![(1, 2e-3)]),
         eval_every: 8,
         resilience: None,
+        ..RetrainConfig::default()
     };
     let pre = retrain(&mut float_model, &mut opt, &pre_cfg, &train, &test);
     println!("float accuracy: {:.2}%\n", pre.final_top1() * 100.0);
@@ -67,6 +68,7 @@ fn main() {
             schedule: StepSchedule::new(vec![(1, 1e-3), (4, 5e-4)]),
             eval_every: 1,
             resilience: None,
+            ..RetrainConfig::default()
         };
         let history = retrain(&mut model, &mut opt, &cfg, &train, &test);
         println!(

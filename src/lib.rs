@@ -43,4 +43,5 @@ pub use appmult_data as data;
 pub use appmult_models as models;
 pub use appmult_mult as mult;
 pub use appmult_nn as nn;
+pub use appmult_obs as obs;
 pub use appmult_retrain as retrain;

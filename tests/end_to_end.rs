@@ -24,6 +24,7 @@ fn quick_cfg(epochs: usize) -> RetrainConfig {
         schedule: StepSchedule::new(vec![(1, 2e-3)]),
         eval_every: 1,
         resilience: None,
+        obs: appmult_obs::ObsSink::null(),
     }
 }
 
