@@ -21,12 +21,21 @@
 //! instrumentation is a handful of branches) and once with a recording
 //! sink installed process-wide ("on"). Both are reported in
 //! `results/BENCH_par.json` under `"obs"`.
+//!
+//! Finally, the binary sweeps the `appmult-kernels` engine — naive vs
+//! tiled — over the LeNet conv2-shaped GEMM (M=512, J=16, K=150) at 1 and
+//! 8 worker threads, interleaving reps and asserting naive/tiled
+//! bit-identity in the same run. Results land in
+//! `results/BENCH_kernels.json`; `--assert-kernel-speedup X` fails the run
+//! if the tiled forward speedup drops below `X` at any thread count (the
+//! `kernel-parity` CI job uses this).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use appmult_bench::{markdown_table, write_results, Args};
 use appmult_circuit::{ExhaustiveTable, MultiplierCircuit};
+use appmult_kernels::{backward_dw, backward_dx, forward_acc, GemmShape, Kernel};
 use appmult_mult::{Multiplier, TruncatedMultiplier};
 use appmult_nn::{Module, Tensor};
 use appmult_pool::{set_global_threads, Pool};
@@ -50,6 +59,26 @@ struct ObsRow {
     name: String,
     off_ms: f64,
     on_ms: f64,
+}
+
+struct KernelRow {
+    op: &'static str,
+    threads: usize,
+    naive_ms: f64,
+    tiled_ms: f64,
+    identical: bool,
+    macs: usize,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.naive_ms / self.tiled_ms
+    }
+
+    /// Giga-MACs per second at the given wall time.
+    fn gmacs(&self, ms: f64) -> f64 {
+        self.macs as f64 / ms / 1e6
+    }
 }
 
 impl ObsRow {
@@ -251,6 +280,135 @@ fn main() {
     }
     set_global_threads(0);
 
+    // ---- Kernel engine sweep: naive vs tiled on the LeNet-shaped GEMM ----
+    //
+    // Raw chunk-level kernels through the worker pool, exactly as the
+    // layers drive them, on a LeNet conv2-shaped case (J = 16 output
+    // channels, K = 150 = 6x5x5 patch, M = 512 batch rows). Naive and
+    // tiled reps are interleaved so scheduler noise hits both kernels
+    // equally, and bit-identity is asserted on the outputs of the same
+    // run. Backward buffers are re-zeroed inside the timed region (the
+    // kernels accumulate), which costs both kernels the same memset.
+    let kshape = GemmShape {
+        j: 16,
+        k: 150,
+        bits: lut.bits(),
+    };
+    let km = 512usize;
+    let (kj, kk) = (kshape.j, kshape.k);
+    let kmacs = km * kj * kk;
+    let mut krng = Rng64::seed_from_u64(0x7E57);
+    let codes = 1u64 << kshape.bits;
+    let kwq: Vec<u16> = (0..kj * kk).map(|_| krng.below(codes) as u16).collect();
+    let kxq: Vec<u16> = (0..km * kk).map(|_| krng.below(codes) as u16).collect();
+    let kg: Vec<f32> = (0..km * kj).map(|_| krng.uniform_f32(-1.0, 1.0)).collect();
+    let ktable = lut.entries();
+    let kgw = grads.wrt_w_table().as_slice();
+    let kgx = grads.wrt_x_table().as_slice();
+    let tiled = Kernel::tiled_default();
+    let kreps = reps.max(9);
+    let mut kernel_rows = Vec::new();
+    for t in [1usize, 8] {
+        let pool = Pool::new(t);
+        let time_fwd = |kernel: Kernel, acc: &mut Vec<i64>| {
+            best_ms(kreps, || {
+                pool.run_rows(acc, kj, |mi0, chunk| {
+                    let rows = chunk.len() / kj;
+                    forward_acc(
+                        kernel,
+                        kshape,
+                        ktable,
+                        &kwq,
+                        &kxq[mi0 * kk..(mi0 + rows) * kk],
+                        chunk,
+                    );
+                });
+            })
+        };
+        let time_dx = |kernel: Kernel, dx: &mut Vec<f32>| {
+            best_ms(kreps, || {
+                dx.fill(0.0);
+                pool.run_rows(dx, kk, |mi0, chunk| {
+                    let rows = chunk.len() / kk;
+                    backward_dx(
+                        kernel,
+                        kshape,
+                        kgx,
+                        &kwq,
+                        &kxq[mi0 * kk..(mi0 + rows) * kk],
+                        &kg[mi0 * kj..(mi0 + rows) * kj],
+                        0.37,
+                        3.0,
+                        chunk,
+                    );
+                });
+            })
+        };
+        let time_dw = |kernel: Kernel, dw: &mut Vec<f32>| {
+            best_ms(kreps, || {
+                dw.fill(0.0);
+                pool.run_rows(dw, kk, |ji0, chunk| {
+                    let rows = chunk.len() / kk;
+                    backward_dw(
+                        kernel,
+                        kshape,
+                        kgw,
+                        &kwq[ji0 * kk..(ji0 + rows) * kk],
+                        ji0,
+                        &kxq,
+                        &kg,
+                        0.59,
+                        2.0,
+                        chunk,
+                    );
+                });
+            })
+        };
+
+        // Interleave: one naive best-of rep block, one tiled, alternating
+        // per op. best_ms takes the min, so alternating whole blocks at
+        // kreps >= 9 keeps both kernels exposed to the same noise window.
+        let (mut acc_n, mut acc_t) = (vec![0i64; km * kj], vec![0i64; km * kj]);
+        let (mut fwd_n, mut fwd_t) = (f64::INFINITY, f64::INFINITY);
+        let (mut dx_n, mut dx_t) = (vec![0.0f32; km * kk], vec![0.0f32; km * kk]);
+        let (mut dxms_n, mut dxms_t) = (f64::INFINITY, f64::INFINITY);
+        let (mut dw_n, mut dw_t) = (vec![0.0f32; kj * kk], vec![0.0f32; kj * kk]);
+        let (mut dwms_n, mut dwms_t) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            fwd_n = fwd_n.min(time_fwd(Kernel::Naive, &mut acc_n));
+            fwd_t = fwd_t.min(time_fwd(tiled, &mut acc_t));
+            dxms_n = dxms_n.min(time_dx(Kernel::Naive, &mut dx_n));
+            dxms_t = dxms_t.min(time_dx(tiled, &mut dx_t));
+            dwms_n = dwms_n.min(time_dw(Kernel::Naive, &mut dw_n));
+            dwms_t = dwms_t.min(time_dw(tiled, &mut dw_t));
+        }
+        let f32_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        kernel_rows.push(KernelRow {
+            op: "forward",
+            threads: t,
+            naive_ms: fwd_n,
+            tiled_ms: fwd_t,
+            identical: acc_n == acc_t,
+            macs: kmacs,
+        });
+        kernel_rows.push(KernelRow {
+            op: "backward_dx",
+            threads: t,
+            naive_ms: dxms_n,
+            tiled_ms: dxms_t,
+            identical: f32_bits(&dx_n) == f32_bits(&dx_t),
+            macs: kmacs,
+        });
+        kernel_rows.push(KernelRow {
+            op: "backward_dw",
+            threads: t,
+            naive_ms: dwms_n,
+            tiled_ms: dwms_t,
+            identical: f32_bits(&dw_n) == f32_bits(&dw_t),
+            macs: kmacs,
+        });
+    }
+
     // The null sink itself, measured directly: the disabled fast path is a
     // relaxed atomic load plus an `Option` branch per instrumentation
     // point. Projected against the serial forward kernel this must stay
@@ -321,6 +479,69 @@ fn main() {
     );
     println!("{obs_table}");
 
+    let kernel_table = markdown_table(
+        &[
+            "op",
+            "threads",
+            "naive ms",
+            "tiled ms",
+            "speedup",
+            "naive GMAC/s",
+            "tiled GMAC/s",
+            "bit-identical",
+        ],
+        &kernel_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.op.to_string(),
+                    r.threads.to_string(),
+                    format!("{:.3}", r.naive_ms),
+                    format!("{:.3}", r.tiled_ms),
+                    format!("{:.2}x", r.speedup()),
+                    format!("{:.3}", r.gmacs(r.naive_ms)),
+                    format!("{:.3}", r.gmacs(r.tiled_ms)),
+                    r.identical.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "kernel sweep ({} vs naive, M=512 J=16 K=150):",
+        tiled.label()
+    );
+    println!("{kernel_table}");
+
+    let kernel_json: Vec<String> = kernel_rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"op\": \"{}\", \"threads\": {}, \"naive_ms\": {:.4}, ",
+                    "\"tiled_ms\": {:.4}, \"speedup\": {:.4}, \"naive_gmacs\": {:.4}, ",
+                    "\"tiled_gmacs\": {:.4}, \"identical\": {}}}"
+                ),
+                r.op,
+                r.threads,
+                r.naive_ms,
+                r.tiled_ms,
+                r.speedup(),
+                r.gmacs(r.naive_ms),
+                r.gmacs(r.tiled_ms),
+                r.identical
+            )
+        })
+        .collect();
+    let kernels_json = format!(
+        "{{\n  \"shape\": {{\"m\": {km}, \"j\": {kj}, \"k\": {kk}, \"bits\": {}}},\n  \
+         \"tiled\": \"{}\",\n  \"reps\": {kreps},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        kshape.bits,
+        tiled.label(),
+        kernel_json.join(",\n")
+    );
+    let kpath = write_results("BENCH_kernels.json", &kernels_json);
+    println!("wrote {}", kpath.display());
+
     let benches: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -367,6 +588,24 @@ fn main() {
         rows.iter().all(|r| r.identical),
         "parallel kernels must be bit-identical"
     );
+    assert!(
+        kernel_rows.iter().all(|r| r.identical),
+        "tiled kernels must be bit-identical to naive"
+    );
+    if let Some(min_speedup) = args
+        .value("assert-kernel-speedup")
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        for r in kernel_rows.iter().filter(|r| r.op == "forward") {
+            assert!(
+                r.speedup() >= min_speedup,
+                "forward kernel speedup {:.2}x at {} threads below the {min_speedup}x floor",
+                r.speedup(),
+                r.threads
+            );
+        }
+        println!("forward kernel speedup meets the {min_speedup}x floor");
+    }
     if let Some(limit) = args
         .value("assert-overhead")
         .and_then(|v| v.parse::<f64>().ok())

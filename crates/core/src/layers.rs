@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use appmult_kernels::{backward_dw, backward_dx, forward_acc, GemmShape, Kernel};
 use appmult_mult::MultiplierLut;
 use appmult_nn::layers::{col2im, im2col, nchw_to_rows, rows_to_nchw, Conv2dSpec};
 use appmult_nn::{Module, Parameter, Tensor};
@@ -40,9 +41,56 @@ struct GemmCache {
     m: usize,
     j: usize,
     k: usize,
+    sum_w: Vec<i64>, // per-row code sums, memoized across unchanged weights
+    sum_w_builds: u64,
 }
 
 impl GemmCache {
+    /// Refreshes the cache for a new forward pass. The per-row weight code
+    /// sums used by dequantization are memoized: when the quantized weights
+    /// and their params are unchanged since the previous batch (the common
+    /// case in eval loops), `sum_w` is carried over instead of being
+    /// recomputed; any requantization invalidates it.
+    #[allow(clippy::too_many_arguments)]
+    fn update(
+        &mut self,
+        wq: Vec<u16>,
+        xq: Vec<u16>,
+        wclip: Vec<bool>,
+        xclip: Vec<bool>,
+        wq_params: QuantParams,
+        xq_params: QuantParams,
+        m: usize,
+        j: usize,
+        k: usize,
+    ) {
+        let weights_unchanged = self.wq_params == Some(wq_params)
+            && self.j == j
+            && self.k == k
+            && self.wq == wq
+            && !self.sum_w.is_empty();
+        if !weights_unchanged {
+            self.sum_w = (0..j)
+                .map(|ji| wq[ji * k..(ji + 1) * k].iter().map(|&v| i64::from(v)).sum())
+                .collect();
+            self.sum_w_builds += 1;
+        }
+        self.wq = wq;
+        self.xq = xq;
+        self.wclip = wclip;
+        self.xclip = xclip;
+        self.wq_params = Some(wq_params);
+        self.xq_params = Some(xq_params);
+        self.m = m;
+        self.j = j;
+        self.k = k;
+    }
+
+    /// Whether a forward pass has populated the cache (valid even for
+    /// zero-sized batches, where `m == 0`).
+    fn populated(&self) -> bool {
+        self.xq_params.is_some()
+    }
     /// Normalized histograms of the weight and activation codes seen by
     /// the most recent forward pass, each with `2^B` bins.
     fn operand_histograms(&self, bits: u32) -> Option<(Vec<f64>, Vec<f64>)> {
@@ -84,41 +132,52 @@ fn quantize_slice(values: &[f32], params: &QuantParams) -> (Vec<u16>, Vec<bool>)
 /// LUT forward pass: `out[m][j] = DQ(sum_k AM(Wq[j][k], Xq[m][k])) + bias[j]`.
 ///
 /// Output rows are independent, so the batch dimension `M` is partitioned
-/// across the pool's workers; every `out[m][j]` is produced by exactly one
-/// worker with the same per-element accumulation order as a serial run, so
-/// the result is bit-identical for any thread count.
-fn gemm_forward(cache: &GemmCache, lut: &MultiplierLut, bias: &[f32], pool: Pool) -> Tensor {
+/// across the pool's workers and each worker runs the selected
+/// `appmult-kernels` engine over its chunk (tiles compose with worker
+/// chunks). The LUT accumulator is an exact `i64`, so the tiled kernel's
+/// re-association is bit-safe and the result is bit-identical for any
+/// kernel and thread count.
+fn gemm_forward(
+    cache: &GemmCache,
+    lut: &MultiplierLut,
+    bias: &[f32],
+    pool: Pool,
+    kernel: Kernel,
+) -> Tensor {
     let obs = appmult_obs::global();
     let _span = obs.span("gemm_forward");
     let (m, j, k) = (cache.m, cache.j, cache.k);
     obs.counter_add("lut.lookups", (m * j * k) as u64);
-    let bits = lut.bits();
     let table = lut.entries();
+    let shape = GemmShape {
+        j,
+        k,
+        bits: lut.bits(),
+    };
     let wq_params = cache.wq_params.expect("cache populated");
     let xq_params = cache.xq_params.expect("cache populated");
-    let sum_w: Vec<i64> = cache
-        .wq
-        .chunks(k)
-        .map(|row| row.iter().map(|&v| i64::from(v)).sum())
-        .collect();
+    let sum_w = &cache.sum_w;
     let sum_x: Vec<i64> = cache
         .xq
-        .chunks(k)
+        .chunks(k.max(1))
         .map(|row| row.iter().map(|&v| i64::from(v)).sum())
         .collect();
     let mut out = vec![0.0f32; m * j];
     pool.run_rows(&mut out, j, |mi0, chunk| {
-        for (r, out_row) in chunk.chunks_mut(j).enumerate() {
+        let rows = chunk.len() / j;
+        let mut acc = vec![0i64; chunk.len()];
+        forward_acc(
+            kernel,
+            shape,
+            table,
+            &cache.wq,
+            &cache.xq[mi0 * k..(mi0 + rows) * k],
+            &mut acc,
+        );
+        for (r, (out_row, acc_row)) in chunk.chunks_mut(j).zip(acc.chunks(j)).enumerate() {
             let mi = mi0 + r;
-            let x_row = &cache.xq[mi * k..(mi + 1) * k];
-            for (ji, o) in out_row.iter_mut().enumerate() {
-                let w_row = &cache.wq[ji * k..(ji + 1) * k];
-                let mut acc = 0i64;
-                for (wv, xv) in w_row.iter().zip(x_row) {
-                    acc += i64::from(table[((*wv as usize) << bits) | *xv as usize]);
-                }
-                *o =
-                    dequantize_dot(&wq_params, &xq_params, acc, sum_w[ji], sum_x[mi], k) + bias[ji];
+            for (ji, (o, &a)) in out_row.iter_mut().zip(acc_row).enumerate() {
+                *o = dequantize_dot(&wq_params, &xq_params, a, sum_w[ji], sum_x[mi], k) + bias[ji];
             }
         }
     });
@@ -132,14 +191,16 @@ fn gemm_forward(cache: &GemmCache, lut: &MultiplierLut, bias: &[f32], pool: Pool
 /// whole `dx` rows and accumulates over `J` in ascending order) and the
 /// `dW` half is partitioned over the output-channel dimension `J` (each
 /// worker owns whole `dw` rows and accumulates over `M` in ascending
-/// order). Both orders match the serial fused loop element for element, so
-/// no atomic float accumulation is needed and the tensors are bit-identical
-/// to a serial run for any thread count.
+/// order). Each worker runs the selected `appmult-kernels` engine over its
+/// chunk; the tiled kernels preserve the naive per-output addition order
+/// exactly, so no atomic float accumulation is needed and the tensors are
+/// bit-identical to a serial naive run for any kernel and thread count.
 fn gemm_backward(
     cache: &GemmCache,
     grads: &GradientLut,
     g: &Tensor,
     pool: Pool,
+    kernel: Kernel,
 ) -> (Tensor, Tensor) {
     let obs = appmult_obs::global();
     let _span = obs.span("gemm_backward");
@@ -148,7 +209,11 @@ fn gemm_backward(
     // Nominal Eq. 9 table lookups (`dW` and `dX` halves; zero-gradient
     // rows are skipped at runtime, so this is an upper bound).
     obs.counter_add("gradlut.lookups", 2 * (m * j * k) as u64);
-    let bits = grads.bits();
+    let shape = GemmShape {
+        j,
+        k,
+        bits: grads.bits(),
+    };
     let gw_table = grads.wrt_w_table().as_slice();
     let gx_table = grads.wrt_x_table().as_slice();
     let wq_params = cache.wq_params.expect("cache populated");
@@ -161,20 +226,21 @@ fn gemm_backward(
 
     let mut dx = vec![0.0f32; m * k];
     pool.run_rows(&mut dx, k, |mi0, chunk| {
+        let rows = chunk.len() / k;
+        // dL/dx = dL/dy * s_w * (dAM/dX - Z_w), gated by Q'(x).
+        backward_dx(
+            kernel,
+            shape,
+            gx_table,
+            &cache.wq,
+            &cache.xq[mi0 * k..(mi0 + rows) * k],
+            &gd[mi0 * j..(mi0 + rows) * j],
+            sw,
+            zw,
+            chunk,
+        );
         for (r, dx_row) in chunk.chunks_mut(k).enumerate() {
             let mi = mi0 + r;
-            let x_row = &cache.xq[mi * k..(mi + 1) * k];
-            for ji in 0..j {
-                let gv = gd[mi * j + ji];
-                if gv == 0.0 {
-                    continue;
-                }
-                let w_row = &cache.wq[ji * k..(ji + 1) * k];
-                for kk in 0..k {
-                    let idx = ((w_row[kk] as usize) << bits) | x_row[kk] as usize;
-                    dx_row[kk] += gv * sw * (gx_table[idx] - zw);
-                }
-            }
             // Clipped-STE mask of Q'(x).
             for (v, &keep) in dx_row.iter_mut().zip(&cache.xclip[mi * k..(mi + 1) * k]) {
                 if !keep {
@@ -186,21 +252,22 @@ fn gemm_backward(
 
     let mut dw = vec![0.0f32; j * k];
     pool.run_rows(&mut dw, k, |ji0, chunk| {
+        let rows = chunk.len() / k;
+        // dL/dw = dL/dy * s_x * (dAM/dW - Z_x), gated by Q'(w).
+        backward_dw(
+            kernel,
+            shape,
+            gw_table,
+            &cache.wq[ji0 * k..(ji0 + rows) * k],
+            ji0,
+            &cache.xq,
+            gd,
+            sx,
+            zx,
+            chunk,
+        );
         for (r, dw_row) in chunk.chunks_mut(k).enumerate() {
             let ji = ji0 + r;
-            let w_row = &cache.wq[ji * k..(ji + 1) * k];
-            for mi in 0..m {
-                let gv = gd[mi * j + ji];
-                if gv == 0.0 {
-                    continue;
-                }
-                let x_row = &cache.xq[mi * k..(mi + 1) * k];
-                for kk in 0..k {
-                    let idx = ((w_row[kk] as usize) << bits) | x_row[kk] as usize;
-                    // dL/dw = dL/dy * s_x * (dAM/dW - Z_x), gated by Q'.
-                    dw_row[kk] += gv * sx * (gw_table[idx] - zx);
-                }
-            }
             // Clipped-STE mask of Q'(w).
             for (v, &keep) in dw_row.iter_mut().zip(&cache.wclip[ji * k..(ji + 1) * k]) {
                 if !keep {
@@ -246,6 +313,7 @@ pub struct ApproxConv2d {
     grads: Arc<GradientLut>,
     observer: Observer,
     cache: GemmCache,
+    kernel: Kernel,
     input_hw: (usize, usize, usize),
 }
 
@@ -317,8 +385,21 @@ impl ApproxConv2d {
             grads,
             observer: Observer::new(config.ema_momentum),
             cache: GemmCache::default(),
+            kernel: Kernel::global(),
             input_hw: (0, 0, 0),
         }
+    }
+
+    /// The GEMM kernel this layer runs (resolved from the environment at
+    /// construction).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Overrides the GEMM kernel for this layer (e.g. to cross-check
+    /// tiled vs naive in tests).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// The shape specification.
@@ -350,6 +431,13 @@ impl ApproxConv2d {
     pub fn observer_rejections(&self) -> usize {
         self.observer.rejected()
     }
+
+    /// How many times the memoized per-row weight code sums have been
+    /// rebuilt (once per weight requantization; stays flat across eval
+    /// batches with unchanged weights).
+    pub fn sum_w_rebuilds(&self) -> u64 {
+        self.cache.sum_w_builds
+    }
 }
 
 impl Module for ApproxConv2d {
@@ -379,33 +467,40 @@ impl Module for ApproxConv2d {
         let (wq, wclip) = quantize_slice(self.weight.value.as_slice(), &wq_params);
 
         let k = self.spec.patch_len();
-        self.cache = GemmCache {
+        self.cache.update(
             wq,
             xq,
             wclip,
             xclip,
-            wq_params: Some(wq_params),
-            xq_params: Some(xq_params),
-            m: n * oh * ow,
-            j: self.spec.out_channels,
+            wq_params,
+            xq_params,
+            n * oh * ow,
+            self.spec.out_channels,
             k,
-        };
+        );
         self.input_hw = (n, h, w);
         let rows = gemm_forward(
             &self.cache,
             &self.lut,
             self.bias.value.as_slice(),
             Pool::global(),
+            self.kernel,
         );
         rows_to_nchw(&rows, n, self.spec.out_channels, oh, ow)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let _span = appmult_obs::global().span("conv2d.backward");
-        assert!(self.cache.m > 0, "backward before forward");
+        assert!(self.cache.populated(), "backward before forward");
         let (n, h, w) = self.input_hw;
         let g_rows = nchw_to_rows(grad_out);
-        let (dw, dx) = gemm_backward(&self.cache, &self.grads, &g_rows, Pool::global());
+        let (dw, dx) = gemm_backward(
+            &self.cache,
+            &self.grads,
+            &g_rows,
+            Pool::global(),
+            self.kernel,
+        );
         self.weight.grad.add_scaled(&dw, 1.0);
         let jdim = self.spec.out_channels;
         {
@@ -435,6 +530,7 @@ pub struct ApproxLinear {
     grads: Arc<GradientLut>,
     observer: Observer,
     cache: GemmCache,
+    kernel: Kernel,
 }
 
 impl ApproxLinear {
@@ -479,7 +575,20 @@ impl ApproxLinear {
             grads,
             observer: Observer::new(config.ema_momentum),
             cache: GemmCache::default(),
+            kernel: Kernel::global(),
         }
+    }
+
+    /// The GEMM kernel this layer runs (resolved from the environment at
+    /// construction).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Overrides the GEMM kernel for this layer (e.g. to cross-check
+    /// tiled vs naive in tests).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// Output feature count.
@@ -503,6 +612,13 @@ impl ApproxLinear {
     pub fn observer_rejections(&self) -> usize {
         self.observer.rejected()
     }
+
+    /// How many times the memoized per-row weight code sums have been
+    /// rebuilt (once per weight requantization; stays flat across eval
+    /// batches with unchanged weights).
+    pub fn sum_w_rebuilds(&self) -> u64 {
+        self.cache.sum_w_builds
+    }
 }
 
 impl Module for ApproxLinear {
@@ -525,29 +641,36 @@ impl Module for ApproxLinear {
         let wq_params = QuantParams::from_range(wlo, whi, bits);
         let (xq, xclip) = quantize_slice(input.as_slice(), &xq_params);
         let (wq, wclip) = quantize_slice(self.weight.value.as_slice(), &wq_params);
-        self.cache = GemmCache {
+        self.cache.update(
             wq,
             xq,
             wclip,
             xclip,
-            wq_params: Some(wq_params),
-            xq_params: Some(xq_params),
-            m: input.shape()[0],
-            j: self.out_features(),
-            k: self.in_features(),
-        };
+            wq_params,
+            xq_params,
+            input.shape()[0],
+            self.out_features(),
+            self.in_features(),
+        );
         gemm_forward(
             &self.cache,
             &self.lut,
             self.bias.value.as_slice(),
             Pool::global(),
+            self.kernel,
         )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let _span = appmult_obs::global().span("linear.backward");
-        assert!(self.cache.m > 0, "backward before forward");
-        let (dw, dx) = gemm_backward(&self.cache, &self.grads, grad_out, Pool::global());
+        assert!(self.cache.populated(), "backward before forward");
+        let (dw, dx) = gemm_backward(
+            &self.cache,
+            &self.grads,
+            grad_out,
+            Pool::global(),
+            self.kernel,
+        );
         self.weight.grad.add_scaled(&dw, 1.0);
         let jdim = self.out_features();
         {
@@ -747,7 +870,7 @@ mod tests {
             wrt_w: Arc::new((0..n).map(|i| (i % 7) as f32 * 0.25).collect()),
             wrt_x: Arc::new((0..n).map(|i| (i % 5) as f32 * 0.5).collect()),
         };
-        let modes = vec![
+        let modes = [
             GradientMode::Ste,
             GradientMode::difference_based(8),
             GradientMode::RawDifference,
@@ -755,8 +878,15 @@ mod tests {
             custom,
         ];
         let (m, j, k) = (2usize, 3usize, 4usize);
-        for mode in modes {
-            let label = mode.label();
+        // Eq. 9 must hold per gradient mode *and* per kernel engine: a
+        // fresh layer is gradchecked under both the naive and the tiled
+        // backward kernels.
+        let kernels = [Kernel::Naive, Kernel::tiled_default()];
+        for (mode, kernel) in modes
+            .iter()
+            .flat_map(|mo| kernels.iter().map(move |ke| (mo.clone(), *ke)))
+        {
+            let label = format!("{}/{}", mode.label(), kernel.label());
             let grads = Arc::new(GradientLut::build(&lut, mode));
             let mut layer = ApproxLinear::with_params(
                 ramp(&[j, k], 1.1),
@@ -765,6 +895,7 @@ mod tests {
                 grads.clone(),
                 QuantConfig::default(),
             );
+            layer.set_kernel(kernel);
             let x = ramp(&[m, k], 1.6);
             layer.forward(&x, true);
             let g = ramp(&[m, j], 0.9);
@@ -829,41 +960,48 @@ mod tests {
         // *implementation* instead: dL/dx from backward equals the direct
         // evaluation of the Eq. 9 sum.
         let (lut, grads) = exact8();
-        let mut conv = ApproxConv2d::with_params(
-            Conv2dSpec {
-                in_channels: 1,
-                out_channels: 2,
-                kernel: 1,
-                stride: 1,
-                padding: 0,
-            },
-            ramp(&[2, 1], 1.0),
-            Tensor::zeros(&[2]),
-            lut,
-            grads.clone(),
-            QuantConfig::default(),
-        );
-        let x = ramp(&[1, 1, 2, 2], 1.0);
-        conv.forward(&x, true);
-        let g = ramp(&[1, 2, 2, 2], 1.0);
-        let dx = conv.backward(&g);
+        for kernel in [Kernel::Naive, Kernel::tiled_default()] {
+            let mut conv = ApproxConv2d::with_params(
+                Conv2dSpec {
+                    in_channels: 1,
+                    out_channels: 2,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                },
+                ramp(&[2, 1], 1.0),
+                Tensor::zeros(&[2]),
+                lut.clone(),
+                grads.clone(),
+                QuantConfig::default(),
+            );
+            conv.set_kernel(kernel);
+            let x = ramp(&[1, 1, 2, 2], 1.0);
+            conv.forward(&x, true);
+            let g = ramp(&[1, 2, 2, 2], 1.0);
+            let dx = conv.backward(&g);
 
-        // Direct Eq. 9 for a 1x1 conv: dx[m] = sum_j g[m][j] * s_w *
-        // (gX(W[j], X[m]) - Z_w) (all values in range here).
-        let c = &conv.cache;
-        let wqp = c.wq_params.expect("populated");
-        let g_rows = nchw_to_rows(&g);
-        for m in 0..4 {
-            let mut expect = 0.0f32;
-            for j in 0..2 {
-                let idx_w = c.wq[j] as u32;
-                let idx_x = c.xq[m] as u32;
-                expect += g_rows.at(&[m, j])
-                    * wqp.scale
-                    * (grads.wrt_x(idx_w, idx_x) - wqp.zero_point as f32);
+            // Direct Eq. 9 for a 1x1 conv: dx[m] = sum_j g[m][j] * s_w *
+            // (gX(W[j], X[m]) - Z_w) (all values in range here).
+            let c = &conv.cache;
+            let wqp = c.wq_params.expect("populated");
+            let g_rows = nchw_to_rows(&g);
+            for m in 0..4 {
+                let mut expect = 0.0f32;
+                for j in 0..2 {
+                    let idx_w = c.wq[j] as u32;
+                    let idx_x = c.xq[m] as u32;
+                    expect += g_rows.at(&[m, j])
+                        * wqp.scale
+                        * (grads.wrt_x(idx_w, idx_x) - wqp.zero_point as f32);
+                }
+                let got = dx.as_slice()[m];
+                assert!(
+                    (got - expect).abs() < 1e-5,
+                    "{}: m={m}: {got} vs {expect}",
+                    kernel.label()
+                );
             }
-            let got = dx.as_slice()[m];
-            assert!((got - expect).abs() < 1e-5, "m={m}: {got} vs {expect}");
         }
     }
 
@@ -909,27 +1047,106 @@ mod tests {
             |t: &Tensor| -> Vec<u32> { t.as_slice().iter().map(|v| v.to_bits()).collect() };
         let pool = Pool::new(threads);
         let bias = layer.bias.value.as_slice();
-        let y_serial = gemm_forward(&layer.cache, &lut, bias, Pool::serial());
-        let y_par = gemm_forward(&layer.cache, &lut, bias, pool);
-        assert_eq!(
-            bits_of(&y_serial),
-            bits_of(&y_par),
-            "forward m={m} j={j} k={k} threads={threads}"
-        );
-
         let g = ramp(&[m, j], 0.9);
-        let (dw_s, dx_s) = gemm_backward(&layer.cache, &grads, &g, Pool::serial());
-        let (dw_p, dx_p) = gemm_backward(&layer.cache, &grads, &g, pool);
-        assert_eq!(
-            bits_of(&dw_s),
-            bits_of(&dw_p),
-            "dW m={m} j={j} k={k} threads={threads}"
+        // Serial naive is the reference; every (kernel, pool) combination
+        // must reproduce it bit for bit.
+        let y_ref = gemm_forward(&layer.cache, &lut, bias, Pool::serial(), Kernel::Naive);
+        let (dw_ref, dx_ref) =
+            gemm_backward(&layer.cache, &grads, &g, Pool::serial(), Kernel::Naive);
+        for kernel in [
+            Kernel::Naive,
+            Kernel::tiled_default(),
+            Kernel::Tiled {
+                mj: 2,
+                jk: 2,
+                kk: 3,
+            },
+        ] {
+            let y = gemm_forward(&layer.cache, &lut, bias, pool, kernel);
+            assert_eq!(
+                bits_of(&y_ref),
+                bits_of(&y),
+                "forward m={m} j={j} k={k} threads={threads} kernel={}",
+                kernel.label()
+            );
+            let (dw, dx) = gemm_backward(&layer.cache, &grads, &g, pool, kernel);
+            assert_eq!(
+                bits_of(&dw_ref),
+                bits_of(&dw),
+                "dW m={m} j={j} k={k} threads={threads} kernel={}",
+                kernel.label()
+            );
+            assert_eq!(
+                bits_of(&dx_ref),
+                bits_of(&dx),
+                "dX m={m} j={j} k={k} threads={threads} kernel={}",
+                kernel.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sized_batch_flows_through_forward_and_backward() {
+        // A legitimate m = 0 batch must round-trip both layers under both
+        // kernels without tripping the populated-cache guard.
+        let (lut, grads) = exact8();
+        for kernel in [Kernel::Naive, Kernel::tiled_default()] {
+            let mut lin = ApproxLinear::with_params(
+                ramp(&[3, 4], 1.0),
+                Tensor::zeros(&[3]),
+                lut.clone(),
+                grads.clone(),
+                QuantConfig::default(),
+            );
+            lin.set_kernel(kernel);
+            let y = lin.forward(&Tensor::zeros(&[0, 4]), true);
+            assert_eq!(y.shape(), &[0, 3]);
+            let dx = lin.backward(&Tensor::zeros(&[0, 3]));
+            assert_eq!(dx.shape(), &[0, 4]);
+            assert!(
+                lin.weight.grad.as_slice().iter().all(|&v| v == 0.0),
+                "no batch rows, no weight gradient"
+            );
+
+            let mut conv = ApproxConv2d::with_params(
+                Conv2dSpec::same(1, 2, 3),
+                ramp(&[2, 9], 1.0),
+                Tensor::zeros(&[2]),
+                lut.clone(),
+                grads.clone(),
+                QuantConfig::default(),
+            );
+            conv.set_kernel(kernel);
+            let y = conv.forward(&Tensor::zeros(&[0, 1, 4, 4]), true);
+            assert_eq!(y.shape(), &[0, 2, 4, 4]);
+            let dx = conv.backward(&Tensor::zeros(&[0, 2, 4, 4]));
+            assert_eq!(dx.shape(), &[0, 1, 4, 4]);
+        }
+    }
+
+    #[test]
+    fn sum_w_is_memoized_across_unchanged_weights() {
+        let (lut, grads) = exact8();
+        let mut lin = ApproxLinear::with_params(
+            ramp(&[2, 3], 1.0),
+            Tensor::zeros(&[2]),
+            lut,
+            grads,
+            QuantConfig::default(),
         );
-        assert_eq!(
-            bits_of(&dx_s),
-            bits_of(&dx_p),
-            "dX m={m} j={j} k={k} threads={threads}"
-        );
+        assert_eq!(lin.sum_w_rebuilds(), 0);
+        let x1 = ramp(&[4, 3], 1.5);
+        let y1 = lin.forward(&x1, false);
+        assert_eq!(lin.sum_w_rebuilds(), 1, "first forward builds the sums");
+        // Eval loop: same weights, different batches — sums are reused.
+        lin.forward(&ramp(&[5, 3], 0.7), false);
+        let y1_again = lin.forward(&x1, false);
+        assert_eq!(lin.sum_w_rebuilds(), 1, "unchanged weights reuse the sums");
+        assert_eq!(y1, y1_again, "memoization must not change outputs");
+        // A weight update requantizes and invalidates the memo.
+        lin.weight.value.as_mut_slice()[0] += 0.5;
+        lin.forward(&x1, false);
+        assert_eq!(lin.sum_w_rebuilds(), 2, "changed weights rebuild the sums");
     }
 
     #[test]

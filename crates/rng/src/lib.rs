@@ -326,6 +326,102 @@ pub mod prop {
     pub fn forall_u64(what: &str, seed: u64, cases: usize, max: u64, prop: impl Fn(u64) -> bool) {
         forall_pairs(what, seed, cases, max, 0, |v, _| prop(v));
     }
+
+    /// A failing case of a generic property, after shrinking.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct CaseCounterexample<T> {
+        /// The minimal failing case found by shrinking.
+        pub value: T,
+        /// The originally generated failing case (before shrinking).
+        pub original: T,
+        /// Zero-based index of the failing case in the generated stream.
+        pub case: usize,
+    }
+
+    /// Checks `prop` over `cases` deterministic values from `generate`
+    /// (called with the stream index, so implementations can emit corner
+    /// cases first and seeded draws after).
+    ///
+    /// On failure the case is shrunk greedily: `shrink_steps` proposes
+    /// smaller candidates, and the first still-failing candidate is
+    /// adopted, repeating until no candidate fails (or a step budget runs
+    /// out, which bounds shrinking even for non-decreasing proposals). On
+    /// success returns the number of cases run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shrunk [`CaseCounterexample`] for the first failing
+    /// case.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use appmult_rng::{prop, Rng64};
+    ///
+    /// // "All generated pairs have sum < 12" fails and shrinks to a
+    /// // minimal pair that still sums to 12.
+    /// let result = prop::check_with(
+    ///     9,
+    ///     64,
+    ///     |rng: &mut Rng64, _case| (rng.below(10), rng.below(10)),
+    ///     |&(a, b)| vec![(a / 2, b), (a, b / 2), (a.saturating_sub(1), b), (a, b.saturating_sub(1))],
+    ///     |&(a, b)| a + b < 12,
+    /// );
+    /// let ce = result.unwrap_err();
+    /// assert_eq!(ce.value.0 + ce.value.1, 12, "shrunk to the boundary");
+    /// ```
+    pub fn check_with<T: Clone + PartialEq>(
+        seed: u64,
+        cases: usize,
+        generate: impl Fn(&mut Rng64, usize) -> T,
+        shrink_steps: impl Fn(&T) -> Vec<T>,
+        prop: impl Fn(&T) -> bool,
+    ) -> Result<usize, CaseCounterexample<T>> {
+        let mut rng = Rng64::seed_from_u64(seed);
+        for case in 0..cases {
+            let value = generate(&mut rng, case);
+            if !prop(&value) {
+                let mut shrunk = value.clone();
+                for _ in 0..10_000 {
+                    match shrink_steps(&shrunk)
+                        .into_iter()
+                        .find(|c| *c != shrunk && !prop(c))
+                    {
+                        Some(c) => shrunk = c,
+                        None => break,
+                    }
+                }
+                return Err(CaseCounterexample {
+                    value: shrunk,
+                    original: value,
+                    case,
+                });
+            }
+        }
+        Ok(cases)
+    }
+
+    /// Like [`check_with`], but panics with a labelled report on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` fails for any generated case, naming `what`, the
+    /// seed, and the minimal shrunk counterexample.
+    pub fn forall_with<T: Clone + PartialEq + std::fmt::Debug>(
+        what: &str,
+        seed: u64,
+        cases: usize,
+        generate: impl Fn(&mut Rng64, usize) -> T,
+        shrink_steps: impl Fn(&T) -> Vec<T>,
+        prop: impl Fn(&T) -> bool,
+    ) {
+        if let Err(ce) = check_with(seed, cases, generate, shrink_steps, prop) {
+            panic!(
+                "property '{what}' failed (seed {seed:#x}): minimal counterexample {:?} (shrunk from {:?}, case {})",
+                ce.value, ce.original, ce.case
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 
 pub use appmult_circuit as circuit;
 pub use appmult_data as data;
+pub use appmult_kernels as kernels;
 pub use appmult_models as models;
 pub use appmult_mult as mult;
 pub use appmult_nn as nn;
