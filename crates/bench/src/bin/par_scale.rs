@@ -13,7 +13,10 @@
 //! Flags: `--threads N` (default: `APPMULT_THREADS` or the host
 //! parallelism, min 4), `--reps N` best-of repetitions (default 5),
 //! `--assert-overhead PCT` to fail if the observability overhead of any
-//! kernel exceeds `PCT` percent (used by the `obs-overhead` CI job).
+//! kernel exceeds `PCT` percent (used by the `obs-overhead` CI job), and
+//! `--assert-small-shape` to fail if the parallel path is slower than
+//! serial on the smallest swept shape (the pool's work-size floor must
+//! degrade it to the serial path).
 //!
 //! Besides the serial-vs-parallel scaling table, the binary measures the
 //! cost of the observability layer on the instrumented kernels: once with
@@ -187,6 +190,36 @@ fn main() {
             serial_ms,
             parallel_ms,
             identical: bits_of(&serial_dx) == bits_of(&parallel_dx),
+        });
+    }
+    // Small-shape sweep: a single-sample conv whose GEMMs sit far below
+    // the pool's work-size floor, so the "parallel" path must degrade to
+    // the serial one instead of paying fork/join overhead on microsecond
+    // kernels. `--assert-small-shape` gates on it (the `serve-smoke` CI
+    // job uses this): parallel must not be slower than serial beyond
+    // timing noise.
+    {
+        let small_input = random_tensor(&[1, 8, 4, 4], 0x5A11);
+        let small_reps = reps.max(25);
+
+        set_global_threads(1);
+        let mut conv = make_conv();
+        let serial_out = conv.forward(&small_input, true);
+        let serial_ms = best_ms(small_reps, || {
+            let _ = conv.forward(&small_input, true);
+        });
+
+        set_global_threads(threads);
+        let mut conv = make_conv();
+        let parallel_out = conv.forward(&small_input, true);
+        let parallel_ms = best_ms(small_reps, || {
+            let _ = conv.forward(&small_input, true);
+        });
+        rows.push(BenchRow {
+            name: "conv_forward_small",
+            serial_ms,
+            parallel_ms,
+            identical: bits_of(&serial_out) == bits_of(&parallel_out),
         });
     }
     set_global_threads(0); // drop the override for anything downstream
@@ -605,6 +638,28 @@ fn main() {
             );
         }
         println!("forward kernel speedup meets the {min_speedup}x floor");
+    }
+    if args.flag("assert-small-shape") {
+        let small = rows
+            .iter()
+            .find(|r| r.name == "conv_forward_small")
+            .expect("small-shape row present");
+        // With the work-size floor both paths run serially, so the only
+        // allowed gap is best-of-N timing noise.
+        assert!(
+            small.speedup() >= 0.85,
+            "small-shape parallel path {:.3} ms is slower than serial {:.3} ms \
+             ({:.2}x): the work-size floor is not engaging",
+            small.parallel_ms,
+            small.serial_ms,
+            small.speedup()
+        );
+        println!(
+            "small-shape floor holds: {:.2}x (parallel {:.3} ms vs serial {:.3} ms)",
+            small.speedup(),
+            small.parallel_ms,
+            small.serial_ms
+        );
     }
     if let Some(limit) = args
         .value("assert-overhead")

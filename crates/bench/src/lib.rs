@@ -486,11 +486,27 @@ pub fn run_obs_demo() -> ObsDemo {
     appmult_obs::set_global(&ObsSink::null());
 
     ObsDemo {
-        report_json: obs.to_json(),
+        report_json: obs.to_json_with_config(&run_config()),
         events_jsonl: obs.events_jsonl(),
         summary: obs.summary(),
         history,
     }
+}
+
+/// The resolved run configuration embedded in every result file's JSON
+/// header: worker threads and the active GEMM kernel, so a report is
+/// interpretable without the environment that produced it.
+pub fn run_config() -> Vec<(&'static str, appmult_obs::Value)> {
+    vec![
+        (
+            "threads",
+            appmult_obs::Value::from(appmult_pool::Pool::global().threads() as u64),
+        ),
+        (
+            "kernel",
+            appmult_obs::Value::from(appmult_kernels::Kernel::global().label()),
+        ),
+    ]
 }
 
 /// The Fig. 3 series for one multiplier slice as CSV: the raw AppMult row

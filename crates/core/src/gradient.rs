@@ -334,6 +334,12 @@ fn transpose_table(n: usize, t: &[f32]) -> Vec<f32> {
     out
 }
 
+/// Minimum table size (elements) below which gradient-table builds run
+/// serially: a `2^B x 2^B` table under this bound (4-bit, 6-bit) is a few
+/// microseconds of O(1)-per-element work, cheaper than spawning workers.
+/// Above it (8-bit: 65536 elements) the parallel build wins.
+const TABLE_PAR_FLOOR_ELEMS: usize = 1 << 14;
+
 /// Eq. 5 + boundary rule over every row of `lut` (gradient w.r.t. the
 /// second operand of the given table). Rows (weight values `w`) are
 /// independent and partitioned across the pool's workers.
@@ -342,6 +348,7 @@ fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule, pool: Po
     let n = 1usize << bits;
     let h = hws as usize;
     let mut out = vec![0.0f32; n * n];
+    let pool = pool.with_min_elems(TABLE_PAR_FLOOR_ELEMS);
     pool.run_rows(&mut out, n, |w0, chunk| {
         for (r, out_row) in chunk.chunks_mut(n).enumerate() {
             let w = (w0 + r) as u32;
@@ -385,6 +392,7 @@ fn raw_difference_tables(lut: &MultiplierLut, pool: Pool) -> Vec<f32> {
     let bits = lut.bits();
     let n = 1usize << bits;
     let mut out = vec![0.0f32; n * n];
+    let pool = pool.with_min_elems(TABLE_PAR_FLOOR_ELEMS);
     pool.run_rows(&mut out, n, |w0, chunk| {
         for (r, out_row) in chunk.chunks_mut(n).enumerate() {
             let w = (w0 + r) as u32;

@@ -118,6 +118,21 @@ impl GemmCache {
     }
 }
 
+/// Minimum multiply-accumulate count below which a LUT-GEMM dispatch runs
+/// serially instead of fanning out across pool workers. Spawn + join costs
+/// tens of microseconds per `run_rows` call; at roughly a nanosecond per
+/// table-gather MAC, shapes under ~64k MACs finish faster on the calling
+/// thread than the spawn overhead alone (the small-shape 0.86x regression
+/// recorded in `BENCH_par.json`). Serial and parallel paths are
+/// bit-identical, so the floor is purely a scheduling decision.
+const PAR_FLOOR_MACS: usize = 1 << 16;
+
+/// Work-size floor in *output elements* for a GEMM whose per-element cost
+/// is `reduction` MACs (see [`PAR_FLOOR_MACS`]).
+fn par_floor_elems(reduction: usize) -> usize {
+    PAR_FLOOR_MACS / reduction.max(1)
+}
+
 /// Quantizes a slice, returning codes and clip mask.
 fn quantize_slice(values: &[f32], params: &QuantParams) -> (Vec<u16>, Vec<bool>) {
     let mut q = Vec::with_capacity(values.len());
@@ -163,6 +178,8 @@ fn gemm_forward(
         .map(|row| row.iter().map(|&v| i64::from(v)).sum())
         .collect();
     let mut out = vec![0.0f32; m * j];
+    // Per output element this GEMM performs `k` MACs.
+    let pool = pool.with_min_elems(par_floor_elems(k));
     pool.run_rows(&mut out, j, |mi0, chunk| {
         let rows = chunk.len() / j;
         let mut acc = vec![0i64; chunk.len()];
@@ -225,57 +242,61 @@ fn gemm_backward(
     let gd = g.as_slice();
 
     let mut dx = vec![0.0f32; m * k];
-    pool.run_rows(&mut dx, k, |mi0, chunk| {
-        let rows = chunk.len() / k;
-        // dL/dx = dL/dy * s_w * (dAM/dX - Z_w), gated by Q'(x).
-        backward_dx(
-            kernel,
-            shape,
-            gx_table,
-            &cache.wq,
-            &cache.xq[mi0 * k..(mi0 + rows) * k],
-            &gd[mi0 * j..(mi0 + rows) * j],
-            sw,
-            zw,
-            chunk,
-        );
-        for (r, dx_row) in chunk.chunks_mut(k).enumerate() {
-            let mi = mi0 + r;
-            // Clipped-STE mask of Q'(x).
-            for (v, &keep) in dx_row.iter_mut().zip(&cache.xclip[mi * k..(mi + 1) * k]) {
-                if !keep {
-                    *v = 0.0;
+    // Per dx element: `j` gradient-table MACs.
+    pool.with_min_elems(par_floor_elems(j))
+        .run_rows(&mut dx, k, |mi0, chunk| {
+            let rows = chunk.len() / k;
+            // dL/dx = dL/dy * s_w * (dAM/dX - Z_w), gated by Q'(x).
+            backward_dx(
+                kernel,
+                shape,
+                gx_table,
+                &cache.wq,
+                &cache.xq[mi0 * k..(mi0 + rows) * k],
+                &gd[mi0 * j..(mi0 + rows) * j],
+                sw,
+                zw,
+                chunk,
+            );
+            for (r, dx_row) in chunk.chunks_mut(k).enumerate() {
+                let mi = mi0 + r;
+                // Clipped-STE mask of Q'(x).
+                for (v, &keep) in dx_row.iter_mut().zip(&cache.xclip[mi * k..(mi + 1) * k]) {
+                    if !keep {
+                        *v = 0.0;
+                    }
                 }
             }
-        }
-    });
+        });
 
     let mut dw = vec![0.0f32; j * k];
-    pool.run_rows(&mut dw, k, |ji0, chunk| {
-        let rows = chunk.len() / k;
-        // dL/dw = dL/dy * s_x * (dAM/dW - Z_x), gated by Q'(w).
-        backward_dw(
-            kernel,
-            shape,
-            gw_table,
-            &cache.wq[ji0 * k..(ji0 + rows) * k],
-            ji0,
-            &cache.xq,
-            gd,
-            sx,
-            zx,
-            chunk,
-        );
-        for (r, dw_row) in chunk.chunks_mut(k).enumerate() {
-            let ji = ji0 + r;
-            // Clipped-STE mask of Q'(w).
-            for (v, &keep) in dw_row.iter_mut().zip(&cache.wclip[ji * k..(ji + 1) * k]) {
-                if !keep {
-                    *v = 0.0;
+    // Per dw element: `m` gradient-table MACs.
+    pool.with_min_elems(par_floor_elems(m))
+        .run_rows(&mut dw, k, |ji0, chunk| {
+            let rows = chunk.len() / k;
+            // dL/dw = dL/dy * s_x * (dAM/dW - Z_x), gated by Q'(w).
+            backward_dw(
+                kernel,
+                shape,
+                gw_table,
+                &cache.wq[ji0 * k..(ji0 + rows) * k],
+                ji0,
+                &cache.xq,
+                gd,
+                sx,
+                zx,
+                chunk,
+            );
+            for (r, dw_row) in chunk.chunks_mut(k).enumerate() {
+                let ji = ji0 + r;
+                // Clipped-STE mask of Q'(w).
+                for (v, &keep) in dw_row.iter_mut().zip(&cache.wclip[ji * k..(ji + 1) * k]) {
+                    if !keep {
+                        *v = 0.0;
+                    }
                 }
             }
-        }
-    });
+        });
 
     (Tensor::from_vec(dw, &[j, k]), Tensor::from_vec(dx, &[m, k]))
 }

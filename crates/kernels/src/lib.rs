@@ -180,12 +180,55 @@ pub fn set_global_kernel(kernel: Option<Kernel>) {
     *GLOBAL_OVERRIDE.lock().expect("kernel override lock") = kernel;
 }
 
-/// Resolves a kernel from an `APPMULT_KERNEL`-style value; anything
-/// unset or unparseable falls back to [`Kernel::tiled_default`].
+/// Strict variant of [`set_global_kernel`]: parses `spec` and installs the
+/// result as the process-wide override.
+///
+/// # Errors
+///
+/// Returns the [`KernelParseError`] without touching the override if
+/// `spec` does not parse.
+pub fn try_set_global_kernel_str(spec: &str) -> Result<Kernel, KernelParseError> {
+    let k = Kernel::parse(spec)?;
+    set_global_kernel(Some(k));
+    Ok(k)
+}
+
+/// Kernel specs that already produced an `env.parse_error` event, so each
+/// offending setting warns exactly once per process (keyed by value: tests
+/// exercising different garbage specs stay independent).
+static WARNED_SPECS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Resolves a kernel from an `APPMULT_KERNEL`-style value; anything unset
+/// or unparseable falls back to [`Kernel::tiled_default`]. Unset and empty
+/// values are silent, but a present-and-malformed spec additionally emits a
+/// one-time `env.parse_error` event on the global [`appmult_obs`] sink so
+/// the typo is visible instead of silently ignored.
 fn kernel_from_env(value: Option<&str>) -> Kernel {
-    value
-        .and_then(|v| Kernel::parse(v).ok())
-        .unwrap_or_else(Kernel::tiled_default)
+    match value {
+        None => Kernel::tiled_default(),
+        Some(v) if v.trim().is_empty() => Kernel::tiled_default(),
+        Some(v) => match Kernel::parse(v) {
+            Ok(k) => k,
+            Err(e) => {
+                let mut warned = WARNED_SPECS
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if !warned.iter().any(|w| w == v) {
+                    warned.push(v.to_string());
+                    appmult_obs::global().event(
+                        "env.parse_error",
+                        &[
+                            ("var", KERNEL_ENV.into()),
+                            ("value", v.into()),
+                            ("error", e.to_string().into()),
+                            ("fallback", Kernel::tiled_default().label().into()),
+                        ],
+                    );
+                }
+                Kernel::tiled_default()
+            }
+        },
+    }
 }
 
 /// Shape of one LUT-GEMM: `J` output rows, `K` reduction steps, `B`-bit
@@ -820,6 +863,43 @@ mod tests {
         );
         assert_eq!(kernel_from_env(None), Kernel::tiled_default());
         assert_eq!(kernel_from_env(Some("garbage")), Kernel::tiled_default());
+    }
+
+    #[test]
+    fn try_set_global_kernel_str_rejects_garbage_without_side_effects() {
+        set_global_kernel(None);
+        assert!(try_set_global_kernel_str("bogus:1x2").is_err());
+        assert_eq!(*GLOBAL_OVERRIDE.lock().expect("lock"), None);
+        assert_eq!(try_set_global_kernel_str("naive"), Ok(Kernel::Naive));
+        assert_eq!(Kernel::global(), Kernel::Naive);
+        set_global_kernel(None);
+    }
+
+    /// A malformed (present, non-empty) env spec warns exactly once per
+    /// offending value on the global obs sink; empty values are silent.
+    #[test]
+    fn env_parse_failure_warns_once() {
+        let obs = appmult_obs::ObsSink::recording();
+        appmult_obs::set_global(&obs);
+        // A spec no other test uses, so the per-value dedup is ours alone.
+        assert_eq!(
+            kernel_from_env(Some("kernel-warn-probe")),
+            Kernel::tiled_default()
+        );
+        assert_eq!(
+            kernel_from_env(Some("kernel-warn-probe")),
+            Kernel::tiled_default()
+        );
+        assert_eq!(kernel_from_env(Some("  ")), Kernel::tiled_default()); // silent
+        appmult_obs::set_global(&appmult_obs::ObsSink::null());
+        let hits = obs
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == "env.parse_error" && e.to_json_line().contains("kernel-warn-probe")
+            })
+            .count();
+        assert_eq!(hits, 1, "expected exactly one warning event");
     }
 
     #[test]

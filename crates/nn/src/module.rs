@@ -38,7 +38,14 @@ impl Parameter {
 ///    `dL/d(input)`;
 /// 3. `visit_params` exposes parameters in a deterministic order (optimizers
 ///    key their per-parameter state on this order).
-pub trait Module {
+///
+/// `Send` is a supertrait so that built models can be handed to worker
+/// threads (the `appmult-serve` engine moves whole [`Sequential`] stacks
+/// into its batch workers); every layer is plain owned data, so this costs
+/// implementations nothing.
+///
+/// [`Sequential`]: crate::layers::Sequential
+pub trait Module: Send {
     /// Runs the layer on `input`. `train` selects training-time behaviour
     /// (batch statistics, dropout masks, quantizer calibration).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;

@@ -106,6 +106,11 @@ impl From<&str> for Value {
         Self::Str(v.to_string())
     }
 }
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Self::Bool(v)
@@ -439,6 +444,14 @@ impl ObsSink {
     /// one field per line (the workspace's line-oriented-parse convention,
     /// like `LINT.json`), with events embedded as single-line objects.
     pub fn to_json(&self) -> String {
+        self.to_json_with_config(&[])
+    }
+
+    /// Like [`to_json`](Self::to_json), but embeds a `"config"` object
+    /// right after the schema header describing the run that produced the
+    /// report (threads, kernel, batch policy, ...). An empty slice omits
+    /// the object entirely, keeping the schema additive.
+    pub fn to_json_with_config(&self, config: &[(&str, Value)]) -> String {
         let Some(rec) = &self.rec else {
             return format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"recording\": false\n}}\n");
         };
@@ -446,6 +459,17 @@ impl ObsSink {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        if !config.is_empty() {
+            out.push_str("  \"config\": {");
+            for (i, (key, value)) in config.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("    ");
+                render_str(&mut out, key);
+                out.push_str(": ");
+                value.render(&mut out);
+            }
+            out.push_str("\n  },\n");
+        }
         out.push_str("  \"recording\": true,\n");
 
         out.push_str("  \"counters\": {");
@@ -664,6 +688,23 @@ mod tests {
         let json = obs.to_json();
         assert!(json.contains("\"lut.lookups\": 15"));
         assert!(json.contains("\"lr\": 0.05"));
+    }
+
+    #[test]
+    fn config_header_is_embedded_and_additive() {
+        let obs = ObsSink::recording();
+        obs.counter_add("x", 1);
+        let json = obs.to_json_with_config(&[
+            ("threads", Value::from(4u64)),
+            ("kernel", Value::from("tiled-64x16x64")),
+        ]);
+        assert!(json.contains("\"config\": {"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"kernel\": \"tiled-64x16x64\""));
+        // Without a config the object is omitted entirely (schema stays
+        // byte-identical to pre-config reports).
+        assert!(!obs.to_json().contains("\"config\""));
+        assert!(obs.to_json().contains("\"x\": 1"));
     }
 
     #[test]

@@ -46,9 +46,95 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Name of the environment variable that pins the worker count.
 pub const THREADS_ENV: &str = "APPMULT_THREADS";
+
+/// Why an `APPMULT_THREADS`-style value could not be parsed.
+///
+/// Returned by [`parse_threads`] and [`try_set_global_threads_str`]; the
+/// same failure on the environment-variable path surfaces once per
+/// offending value as an `env.parse_error` event on the global
+/// [`appmult_obs`] sink before falling back to auto-detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsParseError {
+    /// The value is not a base-10 unsigned integer.
+    NotANumber(String),
+    /// The value parsed but a pool needs at least one worker.
+    Zero,
+}
+
+impl std::fmt::Display for ThreadsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotANumber(v) => {
+                write!(f, "{THREADS_ENV}: {v:?} is not a positive integer")
+            }
+            Self::Zero => write!(f, "{THREADS_ENV}: thread count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadsParseError {}
+
+/// Parses an `APPMULT_THREADS`-style value into a worker count.
+///
+/// Leading/trailing whitespace is ignored. Unlike the environment fallback
+/// path, this is strict: empty strings, zero, and garbage are errors.
+///
+/// # Errors
+///
+/// [`ThreadsParseError::NotANumber`] if the trimmed value is not a base-10
+/// unsigned integer, [`ThreadsParseError::Zero`] if it is `0`.
+pub fn parse_threads(value: &str) -> Result<usize, ThreadsParseError> {
+    let trimmed = value.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(ThreadsParseError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => Err(ThreadsParseError::NotANumber(trimmed.to_string())),
+    }
+}
+
+/// Strict variant of [`set_global_threads`]: parses `value` and installs it
+/// as the process-wide override.
+///
+/// # Errors
+///
+/// Returns the [`ThreadsParseError`] without touching the override if
+/// `value` does not parse.
+pub fn try_set_global_threads_str(value: &str) -> Result<usize, ThreadsParseError> {
+    let n = parse_threads(value)?;
+    set_global_threads(n);
+    Ok(n)
+}
+
+/// Values that already produced an `env.parse_error` event, so each
+/// offending setting warns exactly once per process (keyed by value: tests
+/// exercising different garbage strings stay independent).
+static WARNED_VALUES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Emits a one-time `env.parse_error` event for a bad env value. Returns
+/// true when this call was the first sighting (used by tests).
+fn warn_env_once(value: &str, error: &ThreadsParseError) -> bool {
+    let mut warned = WARNED_VALUES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if warned.iter().any(|w| w == value) {
+        return false;
+    }
+    warned.push(value.to_string());
+    appmult_obs::global().event(
+        "env.parse_error",
+        &[
+            ("var", THREADS_ENV.into()),
+            ("value", value.into()),
+            ("error", error.to_string().into()),
+            ("fallback", "available_parallelism".into()),
+        ],
+    );
+    true
+}
 
 /// Process-wide override installed by [`set_global_threads`]
 /// (0 = no override).
@@ -62,6 +148,9 @@ static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,
+    /// Work-size floor: buffers smaller than this many elements run
+    /// serially regardless of the worker count (0 = no floor).
+    min_elems: usize,
 }
 
 impl Pool {
@@ -69,6 +158,7 @@ impl Pool {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            min_elems: 0,
         }
     }
 
@@ -91,6 +181,24 @@ impl Pool {
     /// Worker count of this pool.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Returns a copy of this pool with a work-size floor: any
+    /// [`run_rows`](Self::run_rows) call whose output buffer has fewer than
+    /// `min_elems` elements runs serially on the calling thread, skipping
+    /// spawn overhead that would dominate tiny shapes (the small-shape
+    /// regression recorded in `BENCH_par.json`). Because the serial path is
+    /// bit-identical to the parallel one, the floor never changes results —
+    /// only where they are computed. Zero disables the floor.
+    #[must_use]
+    pub fn with_min_elems(mut self, min_elems: usize) -> Self {
+        self.min_elems = min_elems;
+        self
+    }
+
+    /// The work-size floor installed by [`with_min_elems`](Self::with_min_elems).
+    pub fn min_elems(&self) -> usize {
+        self.min_elems
     }
 
     /// Splits `out` into one contiguous chunk of whole rows per worker and
@@ -119,7 +227,11 @@ impl Pool {
             out.len()
         );
         let rows = out.len() / row_len;
-        let workers = self.threads.min(rows).max(1);
+        let workers = if out.len() < self.min_elems {
+            1 // below the work-size floor: spawn cost would dominate
+        } else {
+            self.threads.min(rows).max(1)
+        };
         // Per-worker busy-time attribution (a no-op branch unless a
         // recording sink is installed process-wide).
         let obs = appmult_obs::global();
@@ -175,11 +287,23 @@ pub fn set_global_threads(threads: usize) {
 
 /// Resolves a worker count from an `APPMULT_THREADS`-style value: a positive
 /// integer is taken as-is; anything else (unset, empty, `0`, garbage) falls
-/// back to [`std::thread::available_parallelism`].
+/// back to [`std::thread::available_parallelism`]. Unset and empty values
+/// are silent (CI matrices legitimately export `APPMULT_THREADS=""`), but a
+/// present-and-malformed value additionally emits a one-time
+/// `env.parse_error` event on the global [`appmult_obs`] sink so the typo is
+/// visible instead of silently ignored.
 fn threads_from_env(value: Option<&str>) -> usize {
-    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) if n > 0 => n,
-        _ => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    let fallback = || std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    match value {
+        None => fallback(),
+        Some(v) if v.trim().is_empty() => fallback(),
+        Some(v) => match parse_threads(v) {
+            Ok(n) => n,
+            Err(e) => {
+                warn_env_once(v, &e);
+                fallback()
+            }
+        },
     }
 }
 
@@ -313,5 +437,95 @@ mod tests {
         assert_eq!(Pool::global().threads(), 5);
         set_global_threads(0);
         assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_is_strict() {
+        assert_eq!(parse_threads("3"), Ok(3));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("0"), Err(ThreadsParseError::Zero));
+        assert_eq!(
+            parse_threads("lots"),
+            Err(ThreadsParseError::NotANumber("lots".to_string()))
+        );
+        assert_eq!(
+            parse_threads(""),
+            Err(ThreadsParseError::NotANumber(String::new()))
+        );
+        assert_eq!(
+            parse_threads("-2"),
+            Err(ThreadsParseError::NotANumber("-2".to_string()))
+        );
+        let msg = ThreadsParseError::NotANumber("lots".into()).to_string();
+        assert!(msg.contains(THREADS_ENV) && msg.contains("lots"), "{msg}");
+    }
+
+    #[test]
+    fn try_set_global_threads_str_rejects_garbage_without_side_effects() {
+        set_global_threads(0);
+        assert!(try_set_global_threads_str("banana").is_err());
+        assert_eq!(GLOBAL_OVERRIDE.load(Ordering::Relaxed), 0);
+        assert_eq!(try_set_global_threads_str(" 6 "), Ok(6));
+        assert_eq!(Pool::global().threads(), 6);
+        set_global_threads(0);
+    }
+
+    /// A malformed (present, non-empty) env value warns exactly once per
+    /// offending value on the global obs sink; empty values are silent.
+    #[test]
+    fn env_parse_failure_warns_once() {
+        let obs = appmult_obs::ObsSink::recording();
+        appmult_obs::set_global(&obs);
+        // A value no other test uses, so the per-value dedup is ours alone.
+        let fallback = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        assert_eq!(threads_from_env(Some("warn-once-probe")), fallback);
+        assert_eq!(threads_from_env(Some("warn-once-probe")), fallback);
+        assert_eq!(threads_from_env(Some("   ")), fallback); // silent
+        appmult_obs::set_global(&appmult_obs::ObsSink::null());
+        let hits = obs
+            .events()
+            .iter()
+            .filter(|e| e.kind == "env.parse_error" && e.to_json_line().contains("warn-once-probe"))
+            .count();
+        assert_eq!(hits, 1, "expected exactly one warning event");
+    }
+
+    /// Below the work-size floor the pool never spawns: the closure runs
+    /// once, inline, on the calling thread. At or above the floor the
+    /// normal partition applies — and the outputs are identical either way.
+    #[test]
+    fn work_size_floor_forces_serial_below_threshold() {
+        let caller = std::thread::current().id();
+        let calls = AtomicUsize::new(0);
+        let mut out = vec![0u8; 64];
+        Pool::new(8)
+            .with_min_elems(65)
+            .run_rows(&mut out, 4, |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "floor must run inline");
+
+        calls.store(0, Ordering::Relaxed);
+        Pool::new(8)
+            .with_min_elems(64)
+            .run_rows(&mut out, 4, |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(calls.load(Ordering::Relaxed), 8, "at the floor, parallel");
+
+        // Identical results with and without the floor.
+        let fill = |pool: Pool| {
+            let mut buf = vec![0u32; 60];
+            pool.run_rows(&mut buf, 5, |first, chunk| {
+                for (r, row) in chunk.chunks_mut(5).enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = ((first + r) * 100 + c) as u32;
+                    }
+                }
+            });
+            buf
+        };
+        assert_eq!(fill(Pool::new(4).with_min_elems(1000)), fill(Pool::new(4)));
     }
 }

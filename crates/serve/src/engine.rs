@@ -1,0 +1,1025 @@
+//! The batched inference engine: admission control, deadline-aware
+//! coalescing, worker panic isolation, and graceful degradation.
+//!
+//! # Lifecycle
+//!
+//! [`Engine::start`] spawns `workers` threads over a shared
+//! [`BoundedQueue`]. Each worker pops one request, then *coalesces*: it
+//! keeps popping requests for the **same model** (other models stay queued
+//! for sibling workers, order untouched) until the batch reaches
+//! `max_batch` or the batch wait expires — size-or-deadline flush. Expired
+//! requests are dropped *before* kernel dispatch and resolve as
+//! [`Rejection::DeadlineExceeded`]; live ones are stacked into one tensor
+//! and run through the registry in eval mode.
+//!
+//! # Degradation ladder
+//!
+//! Queue occupancy drives a four-level ladder, re-evaluated at every
+//! admission and flush decision:
+//!
+//! | level | occupancy | effect |
+//! |-------|-----------|--------|
+//! | 0     | < 50%     | normal batching |
+//! | 1     | ≥ 50%     | batch wait shrinks to 1/4 (drain faster) |
+//! | 2     | ≥ 75%     | + [`Priority::Low`] admissions shed |
+//! | 3     | ≥ 90%     | + [`Priority::Normal`] shed; zero batch wait |
+//! | —     | = 100%    | reject-fast: [`Rejection::QueueFull`] |
+//!
+//! Sheds and queue-full rejections carry a `retry_after` hint so
+//! well-behaved clients can back off instead of hammering the queue.
+//!
+//! # Failure taxonomy
+//!
+//! Every submitted request resolves **exactly once**: either `Ok(output)`
+//! or one typed [`Rejection`]. A worker panic (model bug, fault-injected
+//! LUT, chaos hook) is caught with `catch_unwind`; the model entry is
+//! rebuilt from its checkpoint by the registry, the batch's jobs are
+//! requeued once (`max_retries`) and only rejected as
+//! [`Rejection::WorkerPanicked`] if they panic again or no longer fit in
+//! the queue. The worker itself never dies — an unexpected panic outside
+//! the batch path is also caught and counted as a restart.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use appmult_nn::Tensor;
+
+use crate::queue::{BoundedQueue, Priority, PushError};
+use crate::registry::{ForwardError, Registry};
+
+/// Typed reason a request was not served. Every variant maps to a
+/// `serve.reject.*` counter on the global obs sink.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// The queue is at capacity; retry after the hint.
+    QueueFull {
+        /// Client back-off hint.
+        retry_after: Duration,
+    },
+    /// Shed by the degradation ladder (priority too low for the current
+    /// overload level); retry after the hint.
+    Shed {
+        /// Client back-off hint.
+        retry_after: Duration,
+    },
+    /// The deadline expired — at admission, while queued, or in a batch
+    /// before kernel dispatch. Expired work never reaches a kernel.
+    DeadlineExceeded,
+    /// No model of this name is registered (possibly evicted after
+    /// admission).
+    ModelUnloaded(String),
+    /// The input failed validation (shape mismatch, or non-finite values
+    /// with scrubbing disabled).
+    InvalidInput(String),
+    /// The request's batch panicked and exhausted its retry budget.
+    WorkerPanicked,
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl Rejection {
+    /// The `serve.reject.*` counter this variant increments.
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull { .. } => "serve.reject.queue_full",
+            Rejection::Shed { .. } => "serve.reject.shed",
+            Rejection::DeadlineExceeded => "serve.reject.deadline",
+            Rejection::ModelUnloaded(_) => "serve.reject.model_unloaded",
+            Rejection::InvalidInput(_) => "serve.reject.invalid_input",
+            Rejection::WorkerPanicked => "serve.reject.worker_panic",
+            Rejection::ShuttingDown => "serve.reject.shutting_down",
+        }
+    }
+
+    /// Short stable label (JSON-friendly).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rejection::QueueFull { .. } => "queue_full",
+            Rejection::Shed { .. } => "shed",
+            Rejection::DeadlineExceeded => "deadline",
+            Rejection::ModelUnloaded(_) => "model_unloaded",
+            Rejection::InvalidInput(_) => "invalid_input",
+            Rejection::WorkerPanicked => "worker_panic",
+            Rejection::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { retry_after } => {
+                write!(f, "queue full (retry after {retry_after:?})")
+            }
+            Rejection::Shed { retry_after } => {
+                write!(f, "shed under overload (retry after {retry_after:?})")
+            }
+            Rejection::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Rejection::ModelUnloaded(name) => write!(f, "model {name:?} not loaded"),
+            Rejection::InvalidInput(why) => write!(f, "invalid input: {why}"),
+            Rejection::WorkerPanicked => write!(f, "worker panicked"),
+            Rejection::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// What a request resolves to: the model output or a typed rejection.
+pub type ServeResult = Result<Tensor, Rejection>;
+
+/// An inference request for one sample.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Registry name of the target model.
+    pub model: String,
+    /// One sample, shaped exactly like the model's registered
+    /// `input_shape` (no batch dimension — the engine batches).
+    pub input: Tensor,
+    /// Priority lane (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Relative deadline from submission; `None` uses the engine's
+    /// `default_deadline` (which may also be `None` = no deadline).
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A normal-priority request with no explicit deadline.
+    pub fn new(model: impl Into<String>, input: Tensor) -> Self {
+        Self {
+            model: model.into(),
+            input,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority lane.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a relative deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Shared slot a request resolves into (hand-rolled oneshot).
+struct TicketState {
+    slot: Mutex<Option<ServeResult>>,
+    done: Condvar,
+}
+
+/// Caller-side handle to an admitted request. Wait on it for the outcome;
+/// the engine guarantees it resolves exactly once.
+pub struct Ticket {
+    state: Arc<TicketState>,
+    id: u64,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("id", &self.id)
+            .field("resolved", &self.try_get().is_some())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Request id (unique per engine).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(&self) -> ServeResult {
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` if the request is still in flight.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .done
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<ServeResult> {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// A queued unit of work: one admitted request plus its bookkeeping.
+struct Job {
+    model: String,
+    input: Tensor,
+    priority: Priority,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    retries: u32,
+    ticket: Arc<TicketState>,
+}
+
+/// Engine tuning knobs. `Default` is sized for tests and small hosts;
+/// `serve_bench` scales it up.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bounded queue capacity across all priority lanes.
+    pub queue_capacity: usize,
+    /// Batcher/worker thread count.
+    pub workers: usize,
+    /// Maximum requests coalesced into one kernel batch.
+    pub max_batch: usize,
+    /// Longest a worker waits to fill a batch before flushing (shrunk by
+    /// the degradation ladder).
+    pub max_batch_wait: Duration,
+    /// Deadline applied to requests that don't carry one (`None` = no
+    /// deadline).
+    pub default_deadline: Option<Duration>,
+    /// Base back-off hint attached to `QueueFull` / `Shed` rejections.
+    pub retry_after: Duration,
+    /// How many times a job survives a worker panic by being requeued
+    /// before it is rejected as `WorkerPanicked`.
+    pub max_retries: u32,
+    /// Replace non-finite input values with 0.0 (counted as
+    /// `serve.input.scrubbed`) instead of rejecting the request.
+    pub scrub_nonfinite: bool,
+    /// Test/chaos hook: panic inside every Nth batch dispatch, exercising
+    /// the requeue-or-reject and model rebuild paths deterministically.
+    pub chaos_panic_every: Option<u64>,
+    /// Idle worker poll interval (also the shutdown latency bound).
+    pub poll_interval: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            workers: 2,
+            max_batch: 32,
+            max_batch_wait: Duration::from_millis(2),
+            default_deadline: None,
+            retry_after: Duration::from_millis(10),
+            max_retries: 1,
+            scrub_nonfinite: false,
+            chaos_panic_every: None,
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The batch policy as stable `(key, value)` pairs for self-describing
+    /// result files (`results/*.json` headers).
+    pub fn describe(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("queue_capacity", self.queue_capacity.to_string()),
+            ("workers", self.workers.to_string()),
+            ("max_batch", self.max_batch.to_string()),
+            (
+                "max_batch_wait_us",
+                self.max_batch_wait.as_micros().to_string(),
+            ),
+            ("max_retries", self.max_retries.to_string()),
+            ("scrub_nonfinite", self.scrub_nonfinite.to_string()),
+        ]
+    }
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    queue: BoundedQueue<Job>,
+    cfg: EngineConfig,
+    shutdown: AtomicBool,
+    paused: Mutex<bool>,
+    pause_cv: Condvar,
+    next_id: AtomicU64,
+    batches: AtomicU64,
+    last_ladder: AtomicUsize,
+}
+
+/// The serving engine (see the module docs).
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spawns the worker threads and returns the running engine.
+    pub fn start(registry: Arc<Registry>, cfg: EngineConfig) -> Self {
+        appmult_obs::global().event(
+            "serve.engine.start",
+            &[
+                ("workers", (cfg.workers as u64).into()),
+                ("queue_capacity", (cfg.queue_capacity as u64).into()),
+                ("max_batch", (cfg.max_batch as u64).into()),
+                (
+                    "max_batch_wait_us",
+                    (cfg.max_batch_wait.as_micros() as u64).into(),
+                ),
+                (
+                    "pool_threads",
+                    (appmult_pool::Pool::global().threads() as u64).into(),
+                ),
+            ],
+        );
+        let worker_count = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            paused: Mutex::new(false),
+            pause_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            last_ladder: AtomicUsize::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admission control: validate, maybe shed, and enqueue.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Rejection`] immediately (without enqueueing) when the
+    /// engine is shutting down, the model is unknown, the input is
+    /// malformed, the deadline already expired, the degradation ladder
+    /// sheds this priority, or the queue is full.
+    pub fn submit(&self, request: Request) -> Result<Ticket, Rejection> {
+        let obs = appmult_obs::global();
+        let submitted = Instant::now();
+        let s = &self.shared;
+        let outcome = self.admit(request, submitted);
+        match &outcome {
+            Ok(_) => obs.counter_add("serve.admit.ok", 1),
+            Err(rej) => {
+                obs.counter_add(rej.counter_name(), 1);
+                // Admission-to-rejection time: the "reject fast" bound.
+                obs.observe(
+                    "serve.latency.rejected_us",
+                    submitted.elapsed().as_micros() as f64,
+                );
+            }
+        }
+        obs.gauge_set("serve.queue.depth", s.queue.len() as f64);
+        outcome
+    }
+
+    fn admit(&self, request: Request, submitted: Instant) -> Result<Ticket, Rejection> {
+        let s = &self.shared;
+        let obs = appmult_obs::global();
+        if s.shutdown.load(Ordering::SeqCst) {
+            return Err(Rejection::ShuttingDown);
+        }
+        let expected = s
+            .registry
+            .input_shape(&request.model)
+            .ok_or_else(|| Rejection::ModelUnloaded(request.model.clone()))?;
+        if request.input.shape() != expected.as_slice() {
+            return Err(Rejection::InvalidInput(format!(
+                "shape {:?}, model {:?} expects {:?}",
+                request.input.shape(),
+                request.model,
+                expected
+            )));
+        }
+        let input = if request.input.as_slice().iter().all(|v| v.is_finite()) {
+            request.input
+        } else if s.cfg.scrub_nonfinite {
+            let scrubbed: Vec<f32> = request
+                .input
+                .as_slice()
+                .iter()
+                .map(|&v| if v.is_finite() { v } else { 0.0 })
+                .collect();
+            obs.counter_add("serve.input.scrubbed", 1);
+            Tensor::from_vec(scrubbed, &expected)
+        } else {
+            return Err(Rejection::InvalidInput(
+                "non-finite values (NaN/Inf) in input".to_string(),
+            ));
+        };
+        let deadline = request
+            .deadline
+            .or(s.cfg.default_deadline)
+            .map(|d| submitted + d);
+        if deadline.is_some_and(|d| d <= Instant::now()) {
+            return Err(Rejection::DeadlineExceeded);
+        }
+        let level = self.refresh_ladder();
+        let shed = match request.priority {
+            Priority::Low => level >= 2,
+            Priority::Normal => level >= 3,
+            Priority::High => false,
+        };
+        if shed {
+            return Err(Rejection::Shed {
+                retry_after: s.cfg.retry_after,
+            });
+        }
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let id = s.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            model: request.model,
+            input,
+            priority: request.priority,
+            deadline,
+            submitted,
+            retries: 0,
+            ticket: Arc::clone(&state),
+        };
+        match s.queue.push(job, request.priority) {
+            Ok(()) => Ok(Ticket { state, id }),
+            Err((_, PushError::Full)) => Err(Rejection::QueueFull {
+                retry_after: s.cfg.retry_after,
+            }),
+            Err((_, PushError::Closed)) => Err(Rejection::ShuttingDown),
+        }
+    }
+
+    /// Recomputes the degradation-ladder level from queue occupancy,
+    /// updating the gauge and emitting a transition event on change.
+    fn refresh_ladder(&self) -> usize {
+        let s = &self.shared;
+        let level = ladder_level(s.queue.occupancy());
+        let prev = s.last_ladder.swap(level, Ordering::Relaxed);
+        let obs = appmult_obs::global();
+        obs.gauge_set("serve.ladder.level", level as f64);
+        if prev != level {
+            obs.event(
+                "serve.ladder.transition",
+                &[
+                    ("from", (prev as u64).into()),
+                    ("to", (level as u64).into()),
+                ],
+            );
+        }
+        level
+    }
+
+    /// Current queued request count.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Current degradation-ladder level (0 = normal … 3 = High-only).
+    pub fn ladder_level(&self) -> usize {
+        ladder_level(self.shared.queue.occupancy())
+    }
+
+    /// Test/bench hook: stop workers from popping new work (in-flight
+    /// batches finish). Lets tests line up queued requests deterministically.
+    pub fn pause(&self) {
+        *self
+            .shared
+            .paused
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+    }
+
+    /// Releases [`pause`](Self::pause).
+    pub fn resume(&self) {
+        *self
+            .shared
+            .paused
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = false;
+        self.shared.pause_cv.notify_all();
+    }
+
+    /// Stops admission, resolves every queued request as
+    /// [`Rejection::ShuttingDown`], and joins the workers. Idempotent;
+    /// also runs on drop. In-flight batches complete normally first.
+    pub fn shutdown(&self) {
+        let s = &self.shared;
+        if s.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        s.queue.close();
+        self.resume(); // wake paused workers so they can exit
+        for job in s.queue.drain() {
+            resolve(&job, Err(Rejection::ShuttingDown));
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+        appmult_obs::global().event("serve.engine.shutdown", &[]);
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Occupancy → ladder level (see the module docs table).
+fn ladder_level(occupancy: f64) -> usize {
+    if occupancy >= 0.90 {
+        3
+    } else if occupancy >= 0.75 {
+        2
+    } else if occupancy >= 0.50 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Resolves a job's ticket exactly once, recording latency. A second
+/// resolution attempt is dropped and counted (`serve.ticket.double_resolve`
+/// must stay 0 — the property suite asserts it).
+fn resolve(job: &Job, outcome: ServeResult) {
+    let obs = appmult_obs::global();
+    let mut slot = job
+        .ticket
+        .slot
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if slot.is_some() {
+        obs.counter_add("serve.ticket.double_resolve", 1);
+        return;
+    }
+    let latency_us = job.submitted.elapsed().as_micros() as f64;
+    match &outcome {
+        Ok(_) => obs.observe("serve.latency.ok_us", latency_us),
+        Err(rej) => {
+            obs.counter_add(rej.counter_name(), 1);
+            obs.observe("serve.latency.rejected_us", latency_us);
+        }
+    }
+    *slot = Some(outcome);
+    drop(slot);
+    job.ticket.done.notify_all();
+}
+
+/// Worker thread body: pop → coalesce → dispatch, forever. The batch path
+/// is wrapped in `catch_unwind`; a panic that somehow escapes it is caught
+/// here too and counted as a restart, so a worker thread never dies.
+fn worker_main(shared: &Arc<Shared>) {
+    loop {
+        let done = catch_unwind(AssertUnwindSafe(|| worker_loop(shared)));
+        match done {
+            Ok(()) => return, // clean shutdown
+            Err(_) => {
+                let obs = appmult_obs::global();
+                obs.counter_add("serve.worker.restarts", 1);
+                obs.event("serve.worker.restart", &[]);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let s = shared;
+    loop {
+        wait_while_paused(s);
+        if s.shutdown.load(Ordering::SeqCst) && s.queue.is_empty() {
+            return;
+        }
+        let Some(first) = s.queue.pop_wait(s.cfg.poll_interval) else {
+            if s.queue.is_closed() && s.queue.is_empty() {
+                return;
+            }
+            continue;
+        };
+        let batch = coalesce(s, first);
+        appmult_obs::global().gauge_set("serve.queue.depth", s.queue.len() as f64);
+        process_batch(s, batch);
+    }
+}
+
+fn wait_while_paused(s: &Shared) {
+    let mut paused = s.paused.lock().unwrap_or_else(PoisonError::into_inner);
+    while *paused && !s.shutdown.load(Ordering::SeqCst) {
+        paused = s
+            .pause_cv
+            .wait(paused)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Size-or-deadline coalescing: keep pulling same-model requests until the
+/// batch is full or the (ladder-shrunk) wait expires. Other models are
+/// left queued, in order, for sibling workers.
+fn coalesce(s: &Shared, first: Job) -> Vec<Job> {
+    let model = first.model.clone();
+    let mut batch = vec![first];
+    let started = Instant::now();
+    while batch.len() < s.cfg.max_batch {
+        let wait = batch_wait(s);
+        let elapsed = started.elapsed();
+        if elapsed >= wait {
+            break;
+        }
+        match s
+            .queue
+            .pop_matching_wait(wait - elapsed, |j: &Job| j.model == model)
+        {
+            Some(job) => batch.push(job),
+            None => break,
+        }
+    }
+    batch
+}
+
+/// The ladder-adjusted batch wait: full at level 0, quartered at level 1,
+/// zero (flush immediately) at level 2+.
+fn batch_wait(s: &Shared) -> Duration {
+    match ladder_level(s.queue.occupancy()) {
+        0 => s.cfg.max_batch_wait,
+        1 => s.cfg.max_batch_wait / 4,
+        _ => Duration::ZERO,
+    }
+}
+
+fn process_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
+    let obs = appmult_obs::global();
+    let now = Instant::now();
+    // Deadline gate: expired requests never reach a kernel.
+    let (live, expired): (Vec<Job>, Vec<Job>) = jobs
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| d > now));
+    for job in &expired {
+        obs.counter_add("serve.deadline.dropped_pre_dispatch", 1);
+        resolve(job, Err(Rejection::DeadlineExceeded));
+    }
+    if live.is_empty() {
+        return;
+    }
+    let model = live[0].model.clone();
+    obs.observe("serve.batch.size", live.len() as f64);
+    let batch_no = s.batches.fetch_add(1, Ordering::Relaxed) + 1;
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(every) = s.cfg.chaos_panic_every {
+            assert!(
+                !batch_no.is_multiple_of(every),
+                "chaos: injected worker panic"
+            );
+        }
+        obs.counter_add("serve.batch.jobs_dispatched", live.len() as u64);
+        let stacked = stack_inputs(&live);
+        s.registry.forward_batch(&model, &stacked)
+    }));
+
+    match result {
+        Ok(Ok(output)) => match split_outputs(&output, live.len()) {
+            Some(outputs) => {
+                for (job, out) in live.iter().zip(outputs) {
+                    resolve(job, Ok(out));
+                }
+            }
+            None => {
+                let why = format!(
+                    "model {:?} returned shape {:?} for a batch of {}",
+                    model,
+                    output.shape(),
+                    live.len()
+                );
+                for job in &live {
+                    resolve(job, Err(Rejection::InvalidInput(why.clone())));
+                }
+            }
+        },
+        Ok(Err(ForwardError::Unloaded(name))) => {
+            for job in &live {
+                resolve(job, Err(Rejection::ModelUnloaded(name.clone())));
+            }
+        }
+        Ok(Err(ForwardError::Panicked)) | Err(_) => handle_panicked_batch(s, live),
+    }
+}
+
+/// Requeue-or-reject after a worker panic: each job goes back to its lane
+/// (at the back — order across a panic is not preserved, existence is)
+/// unless it has exhausted its retries or no longer fits.
+fn handle_panicked_batch(s: &Shared, jobs: Vec<Job>) {
+    let obs = appmult_obs::global();
+    obs.counter_add("serve.worker.panics", 1);
+    obs.event(
+        "serve.worker.panic",
+        &[("jobs", (jobs.len() as u64).into())],
+    );
+    for mut job in jobs {
+        if job.retries < s.cfg.max_retries {
+            job.retries += 1;
+            let priority = job.priority;
+            match s.queue.push(job, priority) {
+                Ok(()) => obs.counter_add("serve.batch.requeued", 1),
+                Err((job, _)) => resolve(&job, Err(Rejection::WorkerPanicked)),
+            }
+        } else {
+            resolve(&job, Err(Rejection::WorkerPanicked));
+        }
+    }
+}
+
+/// Stacks per-sample inputs into one `[n, ...sample_shape]` tensor.
+fn stack_inputs(jobs: &[Job]) -> Tensor {
+    let sample_shape = jobs[0].input.shape();
+    let mut shape = Vec::with_capacity(sample_shape.len() + 1);
+    shape.push(jobs.len());
+    shape.extend_from_slice(sample_shape);
+    let mut data = Vec::with_capacity(jobs.len() * jobs[0].input.len());
+    for job in jobs {
+        data.extend_from_slice(job.input.as_slice());
+    }
+    Tensor::from_vec(data, &shape)
+}
+
+/// Splits a `[n, ...]` output back into `n` per-sample tensors; `None` if
+/// the model did not preserve the batch dimension.
+fn split_outputs(output: &Tensor, n: usize) -> Option<Vec<Tensor>> {
+    if output.shape().first() != Some(&n) || n == 0 {
+        return None;
+    }
+    let sample_shape: Vec<usize> = output.shape()[1..].to_vec();
+    let row = output.len() / n;
+    let data = output.as_slice();
+    Some(
+        (0..n)
+            .map(|i| Tensor::from_vec(data[i * row..(i + 1) * row].to_vec(), &sample_shape))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelSpec;
+    use appmult_nn::layers::{Linear, Relu, Sequential};
+
+    fn tiny_registry() -> Arc<Registry> {
+        let reg = Arc::new(Registry::new(4));
+        reg.load(ModelSpec {
+            name: "tiny".to_string(),
+            input_shape: vec![4],
+            factory: Arc::new(|| {
+                Sequential::new()
+                    .push(Linear::new(4, 2, 42))
+                    .push(Relu::new())
+            }),
+        })
+        .unwrap();
+        reg
+    }
+
+    fn sample(v: f32) -> Tensor {
+        Tensor::from_vec(vec![v; 4], &[4])
+    }
+
+    /// Pauses and waits out the poll interval, so every worker is parked
+    /// on the pause condvar before the test lines up queued requests.
+    fn pause_settled(engine: &Engine) {
+        engine.pause();
+        std::thread::sleep(engine.shared.cfg.poll_interval * 5);
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let engine = Engine::start(tiny_registry(), EngineConfig::default());
+        let ticket = engine.submit(Request::new("tiny", sample(0.5))).unwrap();
+        let out = ticket.wait().expect("served");
+        assert_eq!(out.shape(), &[2]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batched_results_match_single_requests() {
+        let reg = tiny_registry();
+        let engine = Engine::start(Arc::clone(&reg), EngineConfig::default());
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                engine
+                    .submit(Request::new("tiny", sample(i as f32 * 0.1)))
+                    .unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.iter().enumerate() {
+            let got = t.wait().expect("served");
+            let solo = reg
+                .forward_batch("tiny", &Tensor::from_vec(vec![i as f32 * 0.1; 4], &[1, 4]))
+                .unwrap();
+            assert_eq!(got.as_slice(), &solo.as_slice()[..2], "request {i}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rejects_unknown_model_and_bad_shapes() {
+        let engine = Engine::start(tiny_registry(), EngineConfig::default());
+        assert!(matches!(
+            engine.submit(Request::new("nope", sample(0.0))),
+            Err(Rejection::ModelUnloaded(_))
+        ));
+        let wrong = Tensor::from_vec(vec![0.0; 3], &[3]);
+        assert!(matches!(
+            engine.submit(Request::new("tiny", wrong)),
+            Err(Rejection::InvalidInput(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn nan_inputs_reject_or_scrub_by_config() {
+        let nan = Tensor::from_vec(vec![0.1, f32::NAN, 0.3, f32::INFINITY], &[4]);
+        let engine = Engine::start(tiny_registry(), EngineConfig::default());
+        assert!(matches!(
+            engine.submit(Request::new("tiny", nan.clone())),
+            Err(Rejection::InvalidInput(_))
+        ));
+        engine.shutdown();
+
+        let cfg = EngineConfig {
+            scrub_nonfinite: true,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(tiny_registry(), cfg);
+        let ticket = engine.submit(Request::new("tiny", nan)).unwrap();
+        let out = ticket.wait().expect("scrubbed input must serve");
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_rejects_at_admission() {
+        let engine = Engine::start(tiny_registry(), EngineConfig::default());
+        let req = Request::new("tiny", sample(0.0)).with_deadline(Duration::ZERO);
+        assert_eq!(engine.submit(req).unwrap_err(), Rejection::DeadlineExceeded);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queued_requests_resolve_as_shutting_down() {
+        let engine = Engine::start(tiny_registry(), EngineConfig::default());
+        pause_settled(&engine);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| engine.submit(Request::new("tiny", sample(1.0))).unwrap())
+            .collect();
+        engine.shutdown();
+        for t in tickets {
+            match t.wait() {
+                Err(Rejection::ShuttingDown) | Ok(_) => {}
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert!(matches!(
+            engine.submit(Request::new("tiny", sample(1.0))),
+            Err(Rejection::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn chaos_panic_requeues_and_recovers() {
+        let cfg = EngineConfig {
+            workers: 1,
+            chaos_panic_every: Some(2),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(tiny_registry(), cfg);
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| {
+                engine
+                    .submit(Request::new("tiny", sample(i as f32)))
+                    .unwrap()
+            })
+            .collect();
+        let mut served = 0;
+        let mut panicked = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => served += 1,
+                Err(Rejection::WorkerPanicked) => panicked += 1,
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert_eq!(served + panicked, 12, "every request resolved");
+        assert!(served > 0, "engine recovered between chaos panics");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn ladder_sheds_low_priority_under_overload() {
+        let cfg = EngineConfig {
+            queue_capacity: 8,
+            workers: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(tiny_registry(), cfg);
+        pause_settled(&engine);
+        // Fill to 75%+ occupancy: Low must now shed, High still admits.
+        for _ in 0..6 {
+            engine
+                .submit(Request::new("tiny", sample(0.0)))
+                .expect("below capacity");
+        }
+        assert!(
+            engine.ladder_level() >= 2,
+            "level {}",
+            engine.ladder_level()
+        );
+        let low = Request::new("tiny", sample(0.0)).with_priority(Priority::Low);
+        assert!(matches!(engine.submit(low), Err(Rejection::Shed { .. })));
+        let high = Request::new("tiny", sample(0.0)).with_priority(Priority::High);
+        engine.submit(high).expect("high admits at level 2");
+        // Fill the rest: queue-full is the final answer.
+        let mut saw_full = false;
+        for _ in 0..4 {
+            let high = Request::new("tiny", sample(0.0)).with_priority(Priority::High);
+            if matches!(engine.submit(high), Err(Rejection::QueueFull { .. })) {
+                saw_full = true;
+            }
+        }
+        assert!(saw_full, "saturated queue must reject fast");
+        engine.resume();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unloading_mid_flight_resolves_not_hangs() {
+        let reg = tiny_registry();
+        let engine = Engine::start(Arc::clone(&reg), EngineConfig::default());
+        pause_settled(&engine);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| engine.submit(Request::new("tiny", sample(0.2))).unwrap())
+            .collect();
+        reg.unload("tiny");
+        engine.resume();
+        for t in tickets {
+            match t.wait_timeout(Duration::from_secs(10)).expect("resolves") {
+                Err(Rejection::ModelUnloaded(_)) | Ok(_) => {}
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,59 @@
+//! Overload-hardened batched inference over the LUT-GEMM stack.
+//!
+//! The ROADMAP's serving half: a long-lived layer that loads retrained
+//! checkpoints and product LUTs **once** and coalesces concurrent requests
+//! into batches sized for the tiled kernels, while staying predictable
+//! under overload. Three pieces:
+//!
+//! * [`Registry`] — models (checkpoint bytes + live instance + poisoned
+//!   rebuild path) and a shared [`LutCache`] with LRU eviction;
+//! * [`BoundedQueue`] — a zero-dep bounded MPMC priority queue
+//!   (FIFO-within-priority, non-blocking producers);
+//! * [`Engine`] — admission control with typed [`Rejection`]s, per-request
+//!   deadlines enforced *before* kernel dispatch, size-or-deadline
+//!   batching, worker panic isolation with requeue-or-reject, and a
+//!   degradation ladder (shrink batch wait → shed low priority →
+//!   reject-fast with `Retry-After` hints).
+//!
+//! Everything is instrumented through `appmult-obs`: queue-depth and
+//! ladder gauges, admission/shed/deadline counters, batch-size and
+//! latency histograms. See `DESIGN.md` §12 for the architecture and the
+//! `serve_bench` binary in `appmult-bench` for an open-loop load driver.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use appmult_nn::layers::{Linear, Relu, Sequential};
+//! use appmult_nn::Tensor;
+//! use appmult_serve::{Engine, EngineConfig, ModelSpec, Registry, Request};
+//!
+//! let registry = Arc::new(Registry::new(4));
+//! registry
+//!     .load(ModelSpec {
+//!         name: "demo".into(),
+//!         input_shape: vec![8],
+//!         factory: Arc::new(|| {
+//!             Sequential::new().push(Linear::new(8, 2, 1)).push(Relu::new())
+//!         }),
+//!     })
+//!     .unwrap();
+//! let engine = Engine::start(registry, EngineConfig::default());
+//! let ticket = engine
+//!     .submit(Request::new("demo", Tensor::from_vec(vec![0.1; 8], &[8])))
+//!     .unwrap();
+//! let output = ticket.wait().expect("served");
+//! assert_eq!(output.shape(), &[2]);
+//! engine.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+mod registry;
+
+pub use engine::{Engine, EngineConfig, Rejection, Request, ServeResult, Ticket};
+pub use queue::{BoundedQueue, Priority, PushError};
+pub use registry::{ForwardError, LutCache, ModelFactory, ModelSpec, Registry};

@@ -1,0 +1,284 @@
+//! A bounded, multi-producer/multi-consumer priority queue.
+//!
+//! Three strict-priority lanes ([`Priority::High`] > [`Priority::Normal`] >
+//! [`Priority::Low`]), FIFO within each lane, with a hard capacity shared
+//! across lanes. Producers never block: a full or closed queue hands the
+//! item straight back, which is what admission control needs to produce an
+//! immediate typed rejection instead of stalling the caller. Consumers
+//! block with a timeout, and can pop *selectively* (first item matching a
+//! predicate, scanned in priority-then-FIFO order) so a batcher can keep
+//! coalescing one model without reordering anything it leaves behind.
+//!
+//! Built on `Mutex` + `Condvar` only — no external dependencies, no unsafe.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Request priority lane. Higher lanes are always served first; the
+/// degradation ladder sheds lower lanes first under sustained overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Served first; shed last (only when the queue is effectively full).
+    High = 0,
+    /// Default lane.
+    Normal = 1,
+    /// Best-effort traffic; first to be shed under overload.
+    Low = 2,
+}
+
+impl Priority {
+    /// All lanes, highest first (iteration order for consumers).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Lane index (0 = highest).
+    pub fn lane(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase label for metrics and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Why a push was refused. The item is handed back alongside the reason so
+/// no request is ever silently dropped by the queue itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// [`BoundedQueue::close`] has been called.
+    Closed,
+}
+
+struct Inner<T> {
+    lanes: [VecDeque<T>; 3],
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The bounded MPMC priority queue (see the module docs).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items across all lanes
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Total capacity across all lanes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy in `[0, 1]` — the degradation ladder's input signal.
+    pub fn occupancy(&self) -> f64 {
+        self.len() as f64 / self.capacity as f64
+    }
+
+    /// Enqueues `item` on `priority`'s lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back with [`PushError::Full`] when at capacity or
+    /// [`PushError::Closed`] after [`close`](Self::close); never blocks.
+    pub fn push(&self, item: T, priority: Priority) -> Result<(), (T, PushError)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        inner.lanes[priority.lane()].push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Removes the front item of the highest non-empty lane, waiting up to
+    /// `timeout` for one to arrive. Returns `None` on timeout or when the
+    /// queue is closed *and* empty.
+    pub fn pop_wait(&self, timeout: Duration) -> Option<T> {
+        self.pop_matching_wait(timeout, |_| true)
+    }
+
+    /// Removes the first item (scanning lanes highest-priority first, each
+    /// lane front-to-back) for which `matches` returns true, waiting up to
+    /// `timeout` for one to appear.
+    ///
+    /// Skipped items keep their relative order, so FIFO-within-priority is
+    /// preserved both for the matched subset and for everything left
+    /// behind. Returns `None` on timeout, or immediately if the queue is
+    /// closed and holds no matching item.
+    pub fn pop_matching_wait<F>(&self, timeout: Duration, matches: F) -> Option<T>
+    where
+        F: Fn(&T) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            for lane in &mut inner.lanes {
+                if let Some(pos) = lane.iter().position(&matches) {
+                    let item = lane.remove(pos).expect("position just found");
+                    return Some(item);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if result.timed_out() && inner.lanes.iter().all(VecDeque::is_empty) {
+                return None;
+            }
+        }
+    }
+
+    /// Marks the queue closed: subsequent pushes fail with
+    /// [`PushError::Closed`] and blocked consumers wake up. Items already
+    /// queued remain poppable (or can be swept with
+    /// [`drain`](Self::drain)).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Removes and returns every queued item, highest priority first,
+    /// FIFO within priority. Used at shutdown so every in-flight request
+    /// still resolves (to a typed rejection).
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        let mut out = Vec::with_capacity(inner.len());
+        for lane in &mut inner.lanes {
+            out.extend(lane.drain(..));
+        }
+        out
+    }
+
+    /// Locks the queue state, recovering from a poisoned mutex: the state
+    /// is a plain container that is never left mid-update across a panic
+    /// point, so the data is still consistent.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn fifo_within_priority_and_strict_lane_order() {
+        let q = BoundedQueue::new(16);
+        q.push(("n1", ()), Priority::Normal).unwrap();
+        q.push(("l1", ()), Priority::Low).unwrap();
+        q.push(("h1", ()), Priority::High).unwrap();
+        q.push(("n2", ()), Priority::Normal).unwrap();
+        q.push(("h2", ()), Priority::High).unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_wait(TICK).map(|(n, ())| n)).collect();
+        assert_eq!(order, ["h1", "h2", "n1", "n2", "l1"]);
+    }
+
+    #[test]
+    fn full_queue_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        q.push(1, Priority::Low).unwrap();
+        q.push(2, Priority::High).unwrap();
+        let (item, err) = q.push(3, Priority::High).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.push("a", Priority::Normal).unwrap();
+        q.close();
+        let (_, err) = q.push("b", Priority::Normal).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        assert_eq!(q.drain(), ["a"]);
+        assert!(q.pop_wait(TICK).is_none());
+    }
+
+    #[test]
+    fn pop_matching_skips_without_reordering() {
+        let q = BoundedQueue::new(8);
+        for name in ["a1", "b1", "a2", "b2"] {
+            q.push(name, Priority::Normal).unwrap();
+        }
+        assert_eq!(
+            q.pop_matching_wait(TICK, |n| n.starts_with('b')),
+            Some("b1")
+        );
+        assert_eq!(q.pop_wait(TICK), Some("a1"));
+        assert_eq!(q.pop_wait(TICK), Some("a2"));
+        assert_eq!(q.pop_wait(TICK), Some("b2"));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer =
+            std::thread::spawn(move || q2.pop_wait(Duration::from_secs(5)).expect("woken"));
+        std::thread::sleep(Duration::from_millis(10));
+        q.push(42, Priority::Normal).unwrap();
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_returns_none_quickly() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(4);
+        let t0 = Instant::now();
+        assert!(q.pop_wait(Duration::from_millis(20)).is_none());
+        assert!(t0.elapsed() < Duration::from_secs(2), "must not hang");
+    }
+}

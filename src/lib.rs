@@ -15,7 +15,9 @@
 //!   smoothing (Eq. 4), difference-based gradients (Eqs. 5–6), gradient
 //!   LUTs, LUT-based approximate layers, and the retraining loop;
 //! * [`models`] — LeNet / VGG / ResNet model builders;
-//! * [`data`] — synthetic CIFAR-style datasets.
+//! * [`data`] — synthetic CIFAR-style datasets;
+//! * [`serve`] — overload-hardened batched inference: model registry,
+//!   bounded priority queue, deadline-aware batching, graceful degradation.
 //!
 //! # Quickstart
 //!
@@ -46,3 +48,4 @@ pub use appmult_mult as mult;
 pub use appmult_nn as nn;
 pub use appmult_obs as obs;
 pub use appmult_retrain as retrain;
+pub use appmult_serve as serve;

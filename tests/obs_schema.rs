@@ -36,6 +36,23 @@ fn obs_demo_report_meets_the_acceptance_criteria() {
     assert!(json.contains("\"schema\": \"appmult-obs/v1\""));
     assert!(json.contains("\"recording\": true"));
 
+    // The report header embeds the run configuration (additive `config`
+    // object): resolved thread count and active kernel label.
+    assert!(json.contains("\"config\": {"), "config header missing");
+    let threads = json
+        .lines()
+        .find_map(|l| field(l, "threads"))
+        .expect("config.threads present");
+    assert!(threads.parse::<u64>().expect("threads is an integer") >= 1);
+    let kernel = json
+        .lines()
+        .find_map(|l| field(l, "kernel"))
+        .expect("config.kernel present");
+    assert!(
+        kernel.contains("naive") || kernel.contains("tiled"),
+        "unrecognized kernel label {kernel}"
+    );
+
     // Counters: LUT traffic plus the full resilience-intervention
     // inventory. The demo's learning-rate spike must have fired the policy.
     let mut counters = std::collections::BTreeMap::new();
