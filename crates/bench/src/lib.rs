@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_driver;
+
 use std::sync::Arc;
 
 use appmult_data::{DatasetConfig, SyntheticDataset};

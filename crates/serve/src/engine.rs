@@ -1,29 +1,48 @@
-//! The batched inference engine: admission control, deadline-aware
-//! coalescing, worker panic isolation, and graceful degradation.
+//! The batched inference engine: admission control, per-model DRR
+//! dispatch, deadline-aware coalescing, worker panic isolation, and
+//! graceful degradation.
 //!
 //! # Lifecycle
 //!
 //! [`Engine::start`] spawns `workers` threads over a shared
-//! [`BoundedQueue`]. Each worker pops one request, then *coalesces*: it
-//! keeps popping requests for the **same model** (other models stay queued
-//! for sibling workers, order untouched) until the batch reaches
-//! `max_batch` or the batch wait expires — size-or-deadline flush. Expired
-//! requests are dropped *before* kernel dispatch and resolve as
-//! [`Rejection::DeadlineExceeded`]; live ones are stacked into one tensor
-//! and run through the registry in eval mode.
+//! [`DrrQueue`]: admission routes each request into its model's sub-queue
+//! (strict priority lanes, FIFO within lane), and workers pop whole
+//! batches scheduled by **deficit round-robin** — each model visit earns a
+//! quantum of estimated MACs (`drr_quantum_macs`), carried as a deficit,
+//! so every registered model gets a bounded share of batcher time under
+//! saturation no matter how deep one hot model's backlog grows. After the
+//! scheduled pop, the worker *coalesces*: it keeps popping requests for
+//! the same model (charging the model's deficit, overdraft allowed) until
+//! the batch reaches `max_batch` or the batch wait expires —
+//! size-or-deadline flush. Expired or caller-cancelled requests are
+//! dropped *before* kernel dispatch; live ones are stacked into one
+//! tensor and run through the registry in eval mode.
+//!
+//! # Request timeouts
+//!
+//! [`Ticket::wait_timeout`] is a *cancellation* point: when the caller's
+//! budget expires it resolves the ticket to
+//! [`Rejection::DeadlineExceeded`] instead of abandoning the slot. The
+//! queued job becomes a tombstone the worker discards at dispatch
+//! (counted as `serve.ticket.abandoned` with a structured event), so no
+//! result is ever silently computed for — or dropped on — a caller that
+//! has given up.
 //!
 //! # Degradation ladder
 //!
-//! Queue occupancy drives a four-level ladder, re-evaluated at every
-//! admission and flush decision:
+//! *Pressure* — queued **plus in-flight** work over queue capacity —
+//! drives a four-level ladder, re-evaluated at every admission and flush
+//! decision. (Queued-only occupancy under-reads immediately after a large
+//! flush while the workers are still busy; folding in-flight batches in
+//! keeps the ladder honest at saturation.)
 //!
-//! | level | occupancy | effect |
-//! |-------|-----------|--------|
-//! | 0     | < 50%     | normal batching |
-//! | 1     | ≥ 50%     | batch wait shrinks to 1/4 (drain faster) |
-//! | 2     | ≥ 75%     | + [`Priority::Low`] admissions shed |
-//! | 3     | ≥ 90%     | + [`Priority::Normal`] shed; zero batch wait |
-//! | —     | = 100%    | reject-fast: [`Rejection::QueueFull`] |
+//! | level | pressure | effect |
+//! |-------|----------|--------|
+//! | 0     | < 50%    | normal batching |
+//! | 1     | ≥ 50%    | batch wait shrinks to 1/4 (drain faster) |
+//! | 2     | ≥ 75%    | + [`Priority::Low`] admissions shed |
+//! | 3     | ≥ 90%    | + [`Priority::Normal`] shed; zero batch wait |
+//! | —     | full queue | reject-fast: [`Rejection::QueueFull`] |
 //!
 //! Sheds and queue-full rejections carry a `retry_after` hint so
 //! well-behaved clients can back off instead of hammering the queue.
@@ -47,8 +66,9 @@ use std::time::{Duration, Instant};
 
 use appmult_nn::Tensor;
 
-use crate::queue::{BoundedQueue, Priority, PushError};
+use crate::queue::{Priority, PushError};
 use crate::registry::{ForwardError, Registry};
+use crate::sched::DrrQueue;
 
 /// Typed reason a request was not served. Every variant maps to a
 /// `serve.reject.*` counter on the global obs sink.
@@ -176,6 +196,42 @@ impl Request {
 struct TicketState {
     slot: Mutex<Option<ServeResult>>,
     done: Condvar,
+    /// Admission timestamp — both sides (worker resolve, caller
+    /// cancellation) record latency against it.
+    submitted: Instant,
+}
+
+impl TicketState {
+    /// Resolves the slot exactly once, recording outcome counters and
+    /// latency. Returns `false` (and touches nothing) if already resolved.
+    fn resolve(&self, outcome: ServeResult) -> bool {
+        let obs = appmult_obs::global();
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() {
+            return false;
+        }
+        let latency_us = self.submitted.elapsed().as_micros() as f64;
+        match &outcome {
+            Ok(_) => obs.observe("serve.latency.ok_us", latency_us),
+            Err(rej) => {
+                obs.counter_add(rej.counter_name(), 1);
+                obs.observe("serve.latency.rejected_us", latency_us);
+            }
+        }
+        *slot = Some(outcome);
+        drop(slot);
+        self.done.notify_all();
+        true
+    }
+
+    /// Whether the slot already holds an outcome (a cancelled or resolved
+    /// ticket — the worker discards such jobs before dispatch).
+    fn is_resolved(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
 }
 
 /// Caller-side handle to an admitted request. Wait on it for the outcome;
@@ -219,8 +275,14 @@ impl Ticket {
         }
     }
 
-    /// Blocks up to `timeout`; `None` if the request is still in flight.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult> {
+    /// Blocks up to `timeout`. If the request is still unresolved when the
+    /// budget expires, the ticket is **cancelled**: it resolves to
+    /// [`Rejection::DeadlineExceeded`] right here (counted as
+    /// `serve.ticket.cancelled`), and the queued job becomes a tombstone
+    /// the worker discards before dispatch — the slot is never abandoned
+    /// with a result silently computed for nobody. If the worker wins the
+    /// race, its outcome is returned instead.
+    pub fn wait_timeout(&self, timeout: Duration) -> ServeResult {
         let deadline = Instant::now() + timeout;
         let mut slot = self
             .state
@@ -229,11 +291,18 @@ impl Ticket {
             .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(outcome) = slot.as_ref() {
-                return Some(outcome.clone());
+                return outcome.clone();
             }
             let now = Instant::now();
             if now >= deadline {
-                return None;
+                drop(slot);
+                let outcome = Err(Rejection::DeadlineExceeded);
+                if self.state.resolve(outcome.clone()) {
+                    appmult_obs::global().counter_add("serve.ticket.cancelled", 1);
+                    return outcome;
+                }
+                // The worker resolved in the race window: take its answer.
+                return self.try_get().expect("slot just observed resolved");
             }
             let (guard, _) = self
                 .state
@@ -260,7 +329,9 @@ struct Job {
     input: Tensor,
     priority: Priority,
     deadline: Option<Instant>,
-    submitted: Instant,
+    /// Estimated dispatch cost in MACs (the model's per-sample weight
+    /// count) — the DRR scheduler's currency.
+    cost: u64,
     retries: u32,
     ticket: Arc<TicketState>,
 }
@@ -294,6 +365,11 @@ pub struct EngineConfig {
     pub chaos_panic_every: Option<u64>,
     /// Idle worker poll interval (also the shutdown latency bound).
     pub poll_interval: Duration,
+    /// DRR quantum: estimated MACs of batcher time each backlogged model
+    /// earns per scheduler visit. Any positive value yields long-run
+    /// fairness; sizing it near `max_batch x` a typical model's per-sample
+    /// MACs keeps scheduled batches full-sized.
+    pub drr_quantum_macs: u64,
 }
 
 impl Default for EngineConfig {
@@ -309,6 +385,7 @@ impl Default for EngineConfig {
             scrub_nonfinite: false,
             chaos_panic_every: None,
             poll_interval: Duration::from_millis(5),
+            drr_quantum_macs: 4096,
         }
     }
 }
@@ -327,13 +404,14 @@ impl EngineConfig {
             ),
             ("max_retries", self.max_retries.to_string()),
             ("scrub_nonfinite", self.scrub_nonfinite.to_string()),
+            ("drr_quantum_macs", self.drr_quantum_macs.to_string()),
         ]
     }
 }
 
 struct Shared {
     registry: Arc<Registry>,
-    queue: BoundedQueue<Job>,
+    queue: DrrQueue<Job>,
     cfg: EngineConfig,
     shutdown: AtomicBool,
     paused: Mutex<bool>,
@@ -341,6 +419,19 @@ struct Shared {
     next_id: AtomicU64,
     batches: AtomicU64,
     last_ladder: AtomicUsize,
+    /// Requests popped from the queue but not yet resolved — the ladder's
+    /// pressure signal counts these alongside queued items so it does not
+    /// under-read right after a large flush.
+    in_flight: AtomicUsize,
+}
+
+impl Shared {
+    /// Pressure in `[0, 1+]`: queued **plus in-flight** work over queue
+    /// capacity. The degradation ladder's input signal.
+    fn pressure(&self) -> f64 {
+        let load = self.queue.len() + self.in_flight.load(Ordering::Relaxed);
+        load as f64 / self.queue.capacity() as f64
+    }
 }
 
 /// The serving engine (see the module docs).
@@ -369,9 +460,10 @@ impl Engine {
             ],
         );
         let worker_count = cfg.workers.max(1);
+        let queue = DrrQueue::new(cfg.queue_capacity, cfg.drr_quantum_macs);
         let shared = Arc::new(Shared {
             registry,
-            queue: BoundedQueue::new(cfg.queue_capacity),
+            queue,
             cfg,
             shutdown: AtomicBool::new(false),
             paused: Mutex::new(false),
@@ -379,6 +471,7 @@ impl Engine {
             next_id: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             last_ladder: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -478,18 +571,21 @@ impl Engine {
         let state = Arc::new(TicketState {
             slot: Mutex::new(None),
             done: Condvar::new(),
+            submitted,
         });
         let id = s.next_id.fetch_add(1, Ordering::Relaxed);
+        let cost = s.registry.macs_per_sample(&request.model).unwrap_or(1);
+        let model = request.model;
         let job = Job {
-            model: request.model,
+            model: model.clone(),
             input,
             priority: request.priority,
             deadline,
-            submitted,
+            cost,
             retries: 0,
             ticket: Arc::clone(&state),
         };
-        match s.queue.push(job, request.priority) {
+        match s.queue.push(&model, job, cost, request.priority) {
             Ok(()) => Ok(Ticket { state, id }),
             Err((_, PushError::Full)) => Err(Rejection::QueueFull {
                 retry_after: s.cfg.retry_after,
@@ -498,11 +594,12 @@ impl Engine {
         }
     }
 
-    /// Recomputes the degradation-ladder level from queue occupancy,
-    /// updating the gauge and emitting a transition event on change.
+    /// Recomputes the degradation-ladder level from pressure (queued +
+    /// in-flight over capacity), updating the gauge and emitting a
+    /// transition event on change.
     fn refresh_ladder(&self) -> usize {
         let s = &self.shared;
-        let level = ladder_level(s.queue.occupancy());
+        let level = ladder_level(s.pressure());
         let prev = s.last_ladder.swap(level, Ordering::Relaxed);
         let obs = appmult_obs::global();
         obs.gauge_set("serve.ladder.level", level as f64);
@@ -528,9 +625,19 @@ impl Engine {
         self.shared.queue.capacity()
     }
 
+    /// Requests popped by workers but not yet resolved.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The ladder's input signal: (queued + in-flight) / capacity.
+    pub fn pressure(&self) -> f64 {
+        self.shared.pressure()
+    }
+
     /// Current degradation-ladder level (0 = normal … 3 = High-only).
     pub fn ladder_level(&self) -> usize {
-        ladder_level(self.shared.queue.occupancy())
+        ladder_level(self.shared.pressure())
     }
 
     /// Test/bench hook: stop workers from popping new work (in-flight
@@ -581,44 +688,43 @@ impl Drop for Engine {
     }
 }
 
-/// Occupancy → ladder level (see the module docs table).
-fn ladder_level(occupancy: f64) -> usize {
-    if occupancy >= 0.90 {
+/// Pressure → ladder level (see the module docs table).
+fn ladder_level(pressure: f64) -> usize {
+    if pressure >= 0.90 {
         3
-    } else if occupancy >= 0.75 {
+    } else if pressure >= 0.75 {
         2
-    } else if occupancy >= 0.50 {
+    } else if pressure >= 0.50 {
         1
     } else {
         0
     }
 }
 
-/// Resolves a job's ticket exactly once, recording latency. A second
-/// resolution attempt is dropped and counted (`serve.ticket.double_resolve`
-/// must stay 0 — the property suite asserts it).
+/// Worker-side resolve: exactly once, recording latency. Losing the race
+/// to a caller cancellation (slot already holds `DeadlineExceeded`) means
+/// the computed result had nobody to go to — counted and evented as
+/// `serve.ticket.abandoned`, never silently dropped. Losing to anything
+/// else is an engine bug, counted as `serve.ticket.double_resolve` (must
+/// stay 0 — the property suite asserts it).
 fn resolve(job: &Job, outcome: ServeResult) {
-    let obs = appmult_obs::global();
-    let mut slot = job
-        .ticket
-        .slot
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    if slot.is_some() {
-        obs.counter_add("serve.ticket.double_resolve", 1);
+    if job.ticket.resolve(outcome) {
         return;
     }
-    let latency_us = job.submitted.elapsed().as_micros() as f64;
-    match &outcome {
-        Ok(_) => obs.observe("serve.latency.ok_us", latency_us),
-        Err(rej) => {
-            obs.counter_add(rej.counter_name(), 1);
-            obs.observe("serve.latency.rejected_us", latency_us);
-        }
+    let obs = appmult_obs::global();
+    if matches!(
+        job.ticket
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref(),
+        Some(Err(Rejection::DeadlineExceeded))
+    ) {
+        obs.counter_add("serve.ticket.abandoned", 1);
+        obs.event("serve.ticket.abandoned", &[("in_flight", 1u64.into())]);
+    } else {
+        obs.counter_add("serve.ticket.double_resolve", 1);
     }
-    *slot = Some(outcome);
-    drop(slot);
-    job.ticket.done.notify_all();
 }
 
 /// Worker thread body: pop → coalesce → dispatch, forever. The batch path
@@ -645,15 +751,19 @@ fn worker_loop(shared: &Arc<Shared>) {
         if s.shutdown.load(Ordering::SeqCst) && s.queue.is_empty() {
             return;
         }
-        let Some(first) = s.queue.pop_wait(s.cfg.poll_interval) else {
+        let Some((model, seed)) = s.queue.pop_batch_wait(s.cfg.poll_interval, s.cfg.max_batch)
+        else {
             if s.queue.is_closed() && s.queue.is_empty() {
                 return;
             }
             continue;
         };
-        let batch = coalesce(s, first);
-        appmult_obs::global().gauge_set("serve.queue.depth", s.queue.len() as f64);
-        process_batch(s, batch);
+        s.in_flight.fetch_add(seed.len(), Ordering::Relaxed);
+        let batch = coalesce(s, &model, seed);
+        let obs = appmult_obs::global();
+        obs.gauge_set("serve.queue.depth", s.queue.len() as f64);
+        obs.gauge_set("serve.inflight", s.in_flight.load(Ordering::Relaxed) as f64);
+        process_batch(s, &model, batch);
     }
 }
 
@@ -667,12 +777,12 @@ fn wait_while_paused(s: &Shared) {
     }
 }
 
-/// Size-or-deadline coalescing: keep pulling same-model requests until the
-/// batch is full or the (ladder-shrunk) wait expires. Other models are
-/// left queued, in order, for sibling workers.
-fn coalesce(s: &Shared, first: Job) -> Vec<Job> {
-    let model = first.model.clone();
-    let mut batch = vec![first];
+/// Size-or-deadline top-up on the DRR-scheduled seed batch: keep pulling
+/// requests *for the same model* (charging its deficit, overdraft allowed)
+/// until the batch is full or the (ladder-shrunk) wait expires. Other
+/// models' sub-queues are untouched — sibling workers schedule them.
+fn coalesce(s: &Shared, model: &str, seed: Vec<Job>) -> Vec<Job> {
+    let mut batch = seed;
     let started = Instant::now();
     while batch.len() < s.cfg.max_batch {
         let wait = batch_wait(s);
@@ -680,13 +790,13 @@ fn coalesce(s: &Shared, first: Job) -> Vec<Job> {
         if elapsed >= wait {
             break;
         }
-        match s
-            .queue
-            .pop_matching_wait(wait - elapsed, |j: &Job| j.model == model)
-        {
-            Some(job) => batch.push(job),
-            None => break,
+        let room = s.cfg.max_batch - batch.len();
+        let more = s.queue.pop_model_wait(model, wait - elapsed, room);
+        if more.is_empty() {
+            break;
         }
+        s.in_flight.fetch_add(more.len(), Ordering::Relaxed);
+        batch.extend(more);
     }
     batch
 }
@@ -694,15 +804,27 @@ fn coalesce(s: &Shared, first: Job) -> Vec<Job> {
 /// The ladder-adjusted batch wait: full at level 0, quartered at level 1,
 /// zero (flush immediately) at level 2+.
 fn batch_wait(s: &Shared) -> Duration {
-    match ladder_level(s.queue.occupancy()) {
+    match ladder_level(s.pressure()) {
         0 => s.cfg.max_batch_wait,
         1 => s.cfg.max_batch_wait / 4,
         _ => Duration::ZERO,
     }
 }
 
-fn process_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
+fn process_batch(s: &Arc<Shared>, model: &str, jobs: Vec<Job>) {
     let obs = appmult_obs::global();
+    let popped = jobs.len();
+    // Tombstone gate: jobs whose caller already cancelled (the ticket is
+    // resolved) are discarded before any work happens on their behalf.
+    let (jobs, cancelled): (Vec<Job>, Vec<Job>) =
+        jobs.into_iter().partition(|j| !j.ticket.is_resolved());
+    if !cancelled.is_empty() {
+        obs.counter_add("serve.ticket.abandoned", cancelled.len() as u64);
+        obs.event(
+            "serve.ticket.abandoned",
+            &[("pre_dispatch", (cancelled.len() as u64).into())],
+        );
+    }
     let now = Instant::now();
     // Deadline gate: expired requests never reach a kernel.
     let (live, expired): (Vec<Job>, Vec<Job>) = jobs
@@ -713,10 +835,13 @@ fn process_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
         resolve(job, Err(Rejection::DeadlineExceeded));
     }
     if live.is_empty() {
+        s.in_flight.fetch_sub(popped, Ordering::Relaxed);
         return;
     }
-    let model = live[0].model.clone();
     obs.observe("serve.batch.size", live.len() as f64);
+    if obs.is_enabled() {
+        obs.counter_add(&format!("serve.model.batches.{model}"), 1);
+    }
     let batch_no = s.batches.fetch_add(1, Ordering::Relaxed) + 1;
 
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -728,7 +853,7 @@ fn process_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
         }
         obs.counter_add("serve.batch.jobs_dispatched", live.len() as u64);
         let stacked = stack_inputs(&live);
-        s.registry.forward_batch(&model, &stacked)
+        s.registry.forward_batch(model, &stacked)
     }));
 
     match result {
@@ -757,6 +882,7 @@ fn process_batch(s: &Arc<Shared>, jobs: Vec<Job>) {
         }
         Ok(Err(ForwardError::Panicked)) | Err(_) => handle_panicked_batch(s, live),
     }
+    s.in_flight.fetch_sub(popped, Ordering::Relaxed);
 }
 
 /// Requeue-or-reject after a worker panic: each job goes back to its lane
@@ -772,8 +898,10 @@ fn handle_panicked_batch(s: &Shared, jobs: Vec<Job>) {
     for mut job in jobs {
         if job.retries < s.cfg.max_retries {
             job.retries += 1;
+            let model = job.model.clone();
+            let cost = job.cost;
             let priority = job.priority;
-            match s.queue.push(job, priority) {
+            match s.queue.push(&model, job, cost, priority) {
                 Ok(()) => obs.counter_add("serve.batch.requeued", 1),
                 Err((job, _)) => resolve(&job, Err(Rejection::WorkerPanicked)),
             }
@@ -820,15 +948,15 @@ mod tests {
 
     fn tiny_registry() -> Arc<Registry> {
         let reg = Arc::new(Registry::new(4));
-        reg.load(ModelSpec {
-            name: "tiny".to_string(),
-            input_shape: vec![4],
-            factory: Arc::new(|| {
+        reg.load(ModelSpec::new(
+            "tiny",
+            vec![4],
+            Arc::new(|_| {
                 Sequential::new()
                     .push(Linear::new(4, 2, 42))
                     .push(Relu::new())
             }),
-        })
+        ))
         .unwrap();
         reg
     }
@@ -1015,11 +1143,114 @@ mod tests {
         reg.unload("tiny");
         engine.resume();
         for t in tickets {
-            match t.wait_timeout(Duration::from_secs(10)).expect("resolves") {
+            match t.wait_timeout(Duration::from_secs(10)) {
                 Err(Rejection::ModelUnloaded(_)) | Ok(_) => {}
                 other => panic!("unexpected outcome: {other:?}"),
             }
         }
+        engine.shutdown();
+    }
+
+    /// Caller-side cancellation: a `wait_timeout` that expires resolves
+    /// the ticket to `DeadlineExceeded` right there, and the worker
+    /// discards the tombstoned job before dispatch — no silent result
+    /// drop, no abandoned slot.
+    #[test]
+    fn wait_timeout_cancels_the_queued_request() {
+        let engine = Engine::start(tiny_registry(), EngineConfig::default());
+        pause_settled(&engine);
+        let ticket = engine.submit(Request::new("tiny", sample(0.3))).unwrap();
+        let outcome = ticket.wait_timeout(Duration::from_millis(20));
+        assert_eq!(outcome, Err(Rejection::DeadlineExceeded));
+        // The outcome is sticky: later polls see the cancellation.
+        assert_eq!(
+            ticket.try_get(),
+            Some(Err(Rejection::DeadlineExceeded)),
+            "cancellation must resolve the slot, not abandon it"
+        );
+        engine.resume();
+        // A fresh request on the same engine still serves: the tombstone
+        // was discarded, the worker did not wedge on it.
+        let t2 = engine.submit(Request::new("tiny", sample(0.4))).unwrap();
+        assert!(t2.wait_timeout(Duration::from_secs(10)).is_ok());
+        engine.shutdown();
+    }
+
+    /// Pressure counts in-flight work: with the queue drained but a batch
+    /// still executing, the ladder must not read zero.
+    #[test]
+    fn pressure_counts_in_flight_batches() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Barrier;
+
+        struct Gate {
+            inner: Linear,
+            entered: Arc<Barrier>,
+            release: Arc<Barrier>,
+            armed: Arc<AtomicBool>,
+        }
+        impl appmult_nn::Module for Gate {
+            fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+                if self.armed.swap(false, Ordering::SeqCst) {
+                    self.entered.wait();
+                    self.release.wait();
+                }
+                self.inner.forward(input, train)
+            }
+            fn backward(&mut self, grad: &Tensor) -> Tensor {
+                self.inner.backward(grad)
+            }
+            fn visit_params(&mut self, visit: &mut dyn FnMut(&mut appmult_nn::Parameter)) {
+                self.inner.visit_params(visit);
+            }
+        }
+
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let armed = Arc::new(AtomicBool::new(true));
+        let reg = Arc::new(Registry::new(4));
+        let (e2, r2, a2) = (
+            Arc::clone(&entered),
+            Arc::clone(&release),
+            Arc::clone(&armed),
+        );
+        reg.load(ModelSpec::new(
+            "gate",
+            vec![4],
+            Arc::new(move |_| {
+                Sequential::new().push(Gate {
+                    inner: Linear::new(4, 2, 7),
+                    entered: Arc::clone(&e2),
+                    release: Arc::clone(&r2),
+                    armed: Arc::clone(&a2),
+                })
+            }),
+        ))
+        .unwrap();
+
+        let cfg = EngineConfig {
+            queue_capacity: 4,
+            workers: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(reg, cfg);
+        let ticket = engine.submit(Request::new("gate", sample(1.0))).unwrap();
+        // The worker is now inside the forward pass, queue empty.
+        entered.wait();
+        assert_eq!(engine.queue_depth(), 0, "batch was popped");
+        assert_eq!(engine.in_flight(), 1);
+        assert!(
+            engine.pressure() > 0.0,
+            "in-flight work must keep pressure above zero after a flush"
+        );
+        release.wait();
+        assert!(ticket.wait_timeout(Duration::from_secs(10)).is_ok());
+        // Poll briefly: in-flight drops back to zero once the batch lands.
+        let t0 = Instant::now();
+        while engine.in_flight() != 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(engine.in_flight(), 0);
         engine.shutdown();
     }
 }

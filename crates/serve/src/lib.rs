@@ -3,22 +3,30 @@
 //! The ROADMAP's serving half: a long-lived layer that loads retrained
 //! checkpoints and product LUTs **once** and coalesces concurrent requests
 //! into batches sized for the tiled kernels, while staying predictable
-//! under overload. Three pieces:
+//! under overload. Four pieces:
 //!
 //! * [`Registry`] — models (checkpoint bytes + live instance + poisoned
-//!   rebuild path) and a shared [`LutCache`] with LRU eviction;
-//! * [`BoundedQueue`] — a zero-dep bounded MPMC priority queue
-//!   (FIFO-within-priority, non-blocking producers);
+//!   rebuild path) and a shared [`LutCache`] with LRU eviction, with warm
+//!   LUT **prefetch** on load so a cold model's first batch never pays the
+//!   LUT build inside the dispatch path;
+//! * [`DrrQueue`] — per-model sub-queues (strict priority lanes, FIFO
+//!   within lane) scheduled by **deficit round-robin** in estimated MACs,
+//!   so one hot model cannot starve coalescing for every other model;
+//! * [`BoundedQueue`] — the zero-dep bounded MPMC priority queue the DRR
+//!   scheduler grew out of, kept as a standalone building block;
 //! * [`Engine`] — admission control with typed [`Rejection`]s, per-request
-//!   deadlines enforced *before* kernel dispatch, size-or-deadline
-//!   batching, worker panic isolation with requeue-or-reject, and a
-//!   degradation ladder (shrink batch wait → shed low priority →
-//!   reject-fast with `Retry-After` hints).
+//!   deadlines enforced *before* kernel dispatch, caller-side cancellation
+//!   via [`Ticket::wait_timeout`], size-or-deadline batching, worker panic
+//!   isolation with requeue-or-reject, and a degradation ladder driven by
+//!   queued **plus in-flight** pressure (shrink batch wait → shed low
+//!   priority → reject-fast with `Retry-After` hints).
 //!
-//! Everything is instrumented through `appmult-obs`: queue-depth and
-//! ladder gauges, admission/shed/deadline counters, batch-size and
-//! latency histograms. See `DESIGN.md` §12 for the architecture and the
-//! `serve_bench` binary in `appmult-bench` for an open-loop load driver.
+//! Everything is instrumented through `appmult-obs`: queue-depth,
+//! in-flight and ladder gauges, per-model deficit/starvation telemetry,
+//! admission/shed/deadline/cancellation counters, batch-size and latency
+//! histograms. See `DESIGN.md` §12 for the architecture and the
+//! `serve_bench` binary in `appmult-bench` for an open-loop load driver
+//! with a multi-model fairness phase.
 //!
 //! # Example
 //!
@@ -30,13 +38,13 @@
 //!
 //! let registry = Arc::new(Registry::new(4));
 //! registry
-//!     .load(ModelSpec {
-//!         name: "demo".into(),
-//!         input_shape: vec![8],
-//!         factory: Arc::new(|| {
+//!     .load(ModelSpec::new(
+//!         "demo",
+//!         vec![8],
+//!         Arc::new(|_luts| {
 //!             Sequential::new().push(Linear::new(8, 2, 1)).push(Relu::new())
 //!         }),
-//!     })
+//!     ))
 //!     .unwrap();
 //! let engine = Engine::start(registry, EngineConfig::default());
 //! let ticket = engine
@@ -53,7 +61,11 @@
 mod engine;
 mod queue;
 mod registry;
+mod sched;
 
 pub use engine::{Engine, EngineConfig, Rejection, Request, ServeResult, Ticket};
 pub use queue::{BoundedQueue, Priority, PushError};
-pub use registry::{ForwardError, LutCache, ModelFactory, ModelSpec, Registry};
+pub use registry::{
+    ForwardError, LutBuilder, LutCache, LutHandle, ModelFactory, ModelSpec, Registry,
+};
+pub use sched::DrrQueue;

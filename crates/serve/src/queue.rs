@@ -124,7 +124,12 @@ impl<T> BoundedQueue<T> {
         }
         inner.lanes[priority.lane()].push_back(item);
         drop(inner);
-        self.not_empty.notify_one();
+        // `notify_all`, not `notify_one`: consumers block with *predicates*
+        // (`pop_matching_wait`), so a single wakeup can land on a consumer
+        // whose predicate does not match the new item — it re-sleeps and the
+        // matching consumer keeps waiting until its timeout (a lost wakeup).
+        // Waking everyone lets each waiter re-check its own predicate.
+        self.not_empty.notify_all();
         Ok(())
     }
 
@@ -272,6 +277,39 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.push(42, Priority::Normal).unwrap();
         assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    /// Regression test for the lost-wakeup hazard: two consumers block on
+    /// *disjoint* predicates; a push matching the second consumer must wake
+    /// it even if the notification would previously have been consumed by
+    /// the first (whose predicate does not match). With `notify_one` this
+    /// failed intermittently — the matching consumer slept until its
+    /// timeout; with `notify_all` every waiter re-checks its predicate.
+    #[test]
+    fn push_wakes_the_matching_predicate_consumer() {
+        for _round in 0..20 {
+            let q = Arc::new(BoundedQueue::new(8));
+            let long = Duration::from_secs(10);
+            let want_a = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop_matching_wait(long, |&n: &u32| n < 100))
+            };
+            let want_b = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop_matching_wait(long, |&n: &u32| n >= 100))
+            };
+            // Let both consumers park before the single push arrives.
+            std::thread::sleep(Duration::from_millis(5));
+            let t0 = Instant::now();
+            q.push(100, Priority::Normal).unwrap();
+            assert_eq!(want_b.join().unwrap(), Some(100), "matching consumer");
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "the matching consumer must wake promptly, not ride out its timeout"
+            );
+            q.close();
+            assert_eq!(want_a.join().unwrap(), None, "non-matching consumer");
+        }
     }
 
     #[test]

@@ -28,7 +28,19 @@ use appmult_retrain::GradientLut;
 
 /// Builds a fresh, uninitialized instance of a model architecture. Called
 /// once at [`Registry::load`] and again on the poisoned-model rebuild path.
-pub type ModelFactory = Arc<dyn Fn() -> Sequential + Send + Sync>;
+///
+/// The factory receives a [`LutHandle`] onto the registry's shared LUT
+/// cache, so models that need product/gradient LUT pairs fetch them
+/// read-through — warm after [`Registry::load`] (which runs the spec's
+/// prefetch list *and* this factory once, off the dispatch path), and warm
+/// again on the poisoned rebuild. Factories that build no LUTs ignore the
+/// argument (`Arc::new(|_| ...)`).
+pub type ModelFactory = Arc<dyn Fn(&LutHandle<'_>) -> Sequential + Send + Sync>;
+
+/// Builds one product/gradient LUT pair for the cache — the expensive
+/// `2^B x 2^B` exhaustive simulation that must never run inside the batch
+/// dispatch path.
+pub type LutBuilder = Arc<dyn Fn() -> (MultiplierLut, GradientLut) + Send + Sync>;
 
 /// Everything needed to register a model.
 pub struct ModelSpec {
@@ -39,6 +51,30 @@ pub struct ModelSpec {
     pub input_shape: Vec<usize>,
     /// Architecture builder; its parameters become the checkpoint.
     pub factory: ModelFactory,
+    /// LUT pairs to warm into the cache *before* the factory first runs —
+    /// [`Registry::load`] builds these eagerly (counted as
+    /// `serve.lut.prefetch`) so a cold model's first batch never pays a
+    /// LUT build inside the dispatch path.
+    pub prefetch: Vec<(String, LutBuilder)>,
+}
+
+impl ModelSpec {
+    /// A spec with no LUT prefetch list.
+    pub fn new(name: impl Into<String>, input_shape: Vec<usize>, factory: ModelFactory) -> Self {
+        Self {
+            name: name.into(),
+            input_shape,
+            factory,
+            prefetch: Vec::new(),
+        }
+    }
+
+    /// Adds a LUT pair to warm at load time (keyed like [`Registry::lut`]).
+    #[must_use]
+    pub fn with_prefetch(mut self, key: impl Into<String>, build: LutBuilder) -> Self {
+        self.prefetch.push((key.into(), build));
+        self
+    }
 }
 
 /// Why a batch could not be run.
@@ -57,6 +93,10 @@ struct ModelEntry {
     factory: ModelFactory,
     /// Canonical `APMT` parameter bytes captured at load time.
     checkpoint: Vec<u8>,
+    /// Estimated MACs one sample costs through this model (weight-element
+    /// count of the built instance, clamped to at least 1) — the DRR
+    /// scheduler's per-job cost unit.
+    macs_per_sample: u64,
     model: Mutex<Sequential>,
     /// Set when `forward` panicked; cleared by the rebuild path.
     poisoned: AtomicBool,
@@ -138,6 +178,28 @@ impl LutCache {
     }
 }
 
+/// Read-through view onto the registry's shared [`LutCache`], handed to
+/// [`ModelFactory`] closures so model construction fetches LUT pairs from
+/// the same cache the prefetch path warms — without the factory holding an
+/// `Arc<Registry>` (which would cycle: the registry owns the factory).
+pub struct LutHandle<'a> {
+    luts: &'a Mutex<LutCache>,
+}
+
+impl LutHandle<'_> {
+    /// Returns the pair under `key`, building on a miss — identical
+    /// semantics (and counters) to [`Registry::lut`].
+    pub fn get<F>(&self, key: &str, build: F) -> (Arc<MultiplierLut>, Arc<GradientLut>)
+    where
+        F: FnOnce() -> (MultiplierLut, GradientLut),
+    {
+        self.luts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_build(key, build)
+    }
+}
+
 /// The model registry (see the module docs). Cheap to share: wrap in an
 /// [`Arc`] and hand clones to the engine's workers.
 pub struct Registry {
@@ -154,20 +216,39 @@ impl Registry {
         }
     }
 
-    /// Builds the model once, captures its parameters as the checkpoint,
+    /// Warms the spec's prefetch LUTs, builds the model once, captures its
+    /// parameters as the checkpoint, estimates its per-sample MAC cost,
     /// and registers it (replacing any previous model of the same name).
+    ///
+    /// Every expensive build — the prefetch list *and* whatever LUTs the
+    /// factory fetches through its [`LutHandle`] — happens here, at load
+    /// time, so a cold model's first batch never pays a LUT build inside
+    /// the dispatch path.
     ///
     /// # Errors
     ///
     /// Propagates serialization errors from the checkpoint capture.
     pub fn load(&self, spec: ModelSpec) -> std::io::Result<()> {
-        let mut model = (spec.factory)();
+        let obs = appmult_obs::global();
+        for (key, build) in &spec.prefetch {
+            let _ = self.lut(key, || build());
+            obs.counter_add("serve.lut.prefetch", 1);
+            obs.event("serve.lut.prefetch", &[("key", key.as_str().into())]);
+        }
+        let mut model = (spec.factory)(&self.lut_handle());
         let mut checkpoint = Vec::new();
         save_params(&mut model, &mut checkpoint)?;
+        let mut weight_elems = 0u64;
+        model.visit_params(&mut |p| {
+            if p.decay {
+                weight_elems += p.value.len() as u64;
+            }
+        });
         let entry = Arc::new(ModelEntry {
             input_shape: spec.input_shape,
             factory: spec.factory,
             checkpoint,
+            macs_per_sample: weight_elems.max(1),
             model: Mutex::new(model),
             poisoned: AtomicBool::new(false),
         });
@@ -196,6 +277,13 @@ impl Registry {
         self.lock_models().get(name).map(|e| e.input_shape.clone())
     }
 
+    /// Estimated MACs one sample costs through a registered model — the
+    /// weight-element count of the built instance (clamped to at least 1).
+    /// The engine attaches this to every admitted job as its DRR cost.
+    pub fn macs_per_sample(&self, name: &str) -> Option<u64> {
+        self.lock_models().get(name).map(|e| e.macs_per_sample)
+    }
+
     /// Names of all registered models, sorted.
     pub fn model_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.lock_models().keys().cloned().collect();
@@ -217,6 +305,12 @@ impl Registry {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get_or_build(key, build)
+    }
+
+    /// A read-through handle onto the shared LUT cache — what factories
+    /// receive; exposed for callers that build factories incrementally.
+    pub fn lut_handle(&self) -> LutHandle<'_> {
+        LutHandle { luts: &self.luts }
     }
 
     /// Runs one coalesced batch through the named model in eval mode,
@@ -241,7 +335,7 @@ impl Registry {
         // mutex itself does not poison; `into_inner` is belt-and-braces.
         let mut guard = entry.model.lock().unwrap_or_else(PoisonError::into_inner);
         if entry.poisoned.swap(false, Ordering::SeqCst) {
-            let mut fresh = (entry.factory)();
+            let mut fresh = (entry.factory)(&self.lut_handle());
             load_params(&mut fresh, entry.checkpoint.as_slice())
                 .expect("checkpoint captured from this same architecture");
             *guard = fresh;
@@ -269,16 +363,23 @@ mod tests {
     use appmult_nn::layers::{Linear, Relu};
     use appmult_nn::Module;
 
+    /// Serializes tests that install a recording global obs sink — the
+    /// sink is process-wide, so concurrent recorders would mix counters.
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn tiny_spec(name: &str, seed: u64) -> ModelSpec {
-        ModelSpec {
-            name: name.to_string(),
-            input_shape: vec![4],
-            factory: Arc::new(move || {
+        ModelSpec::new(
+            name,
+            vec![4],
+            Arc::new(move |_| {
                 Sequential::new()
                     .push(Linear::new(4, 3, seed))
                     .push(Relu::new())
             }),
-        }
+        )
     }
 
     /// A module that panics on demand — drives the poisoned-model path.
@@ -328,17 +429,17 @@ mod tests {
         let armed = Arc::new(AtomicBool::new(false));
         let armed2 = Arc::clone(&armed);
         let reg = Registry::new(4);
-        reg.load(ModelSpec {
-            name: "p".to_string(),
-            input_shape: vec![4],
-            factory: Arc::new(move || {
+        reg.load(ModelSpec::new(
+            "p",
+            vec![4],
+            Arc::new(move |_| {
                 Sequential::new()
                     .push(Linear::new(4, 4, 9))
                     .push(PanicSwitch {
                         armed: Arc::clone(&armed2),
                     })
             }),
-        })
+        ))
         .unwrap();
         let batch = Tensor::from_vec(vec![1.0; 4], &[1, 4]);
         let healthy = reg.forward_batch("p", &batch).unwrap();
@@ -352,8 +453,43 @@ mod tests {
     }
 
     #[test]
+    fn load_warms_prefetch_luts_and_records_mac_cost() {
+        use appmult_mult::{ExactMultiplier, Multiplier};
+        let _guard = obs_lock();
+        let obs = appmult_obs::ObsSink::recording();
+        appmult_obs::set_global(&obs);
+        let build: LutBuilder = Arc::new(|| {
+            let lut = ExactMultiplier::new(2).to_lut();
+            let grads =
+                GradientLut::build(&lut, appmult_retrain::GradientMode::difference_based(1));
+            (lut, grads)
+        });
+        let reg = Registry::new(4);
+        let spec = ModelSpec::new(
+            "warm",
+            vec![4],
+            Arc::new(|luts: &LutHandle<'_>| {
+                // The factory's fetch must hit the prefetched entry: the
+                // expensive build already ran, off the dispatch path.
+                let (_lut, _grads) = luts.get("exact2", || unreachable!("prefetch missed"));
+                Sequential::new().push(Linear::new(4, 3, 5))
+            }),
+        )
+        .with_prefetch("exact2", Arc::clone(&build));
+        reg.load(spec).unwrap();
+        appmult_obs::set_global(&appmult_obs::ObsSink::null());
+        assert_eq!(obs.counter("serve.lut.prefetch"), 1);
+        assert_eq!(obs.counter("serve.lut.misses"), 1, "prefetch built it");
+        assert_eq!(obs.counter("serve.lut.hits"), 1, "factory fetch was warm");
+        // Linear(4, 3): 12 weight elements (the bias carries decay=false).
+        assert_eq!(reg.macs_per_sample("warm"), Some(12));
+        assert_eq!(reg.macs_per_sample("nope"), None);
+    }
+
+    #[test]
     fn lut_cache_evicts_least_recently_used() {
         use appmult_mult::{ExactMultiplier, Multiplier};
+        let _guard = obs_lock();
         let obs = appmult_obs::ObsSink::recording();
         appmult_obs::set_global(&obs);
         let mut cache = LutCache::new(2);

@@ -91,15 +91,15 @@ fn counting_registry(executed: &Arc<AtomicUsize>) -> Arc<Registry> {
     let registry = Arc::new(Registry::new(2));
     let executed = Arc::clone(executed);
     registry
-        .load(ModelSpec {
-            name: "probe".to_string(),
-            input_shape: vec![2],
-            factory: Arc::new(move || {
+        .load(ModelSpec::new(
+            "probe",
+            vec![2],
+            Arc::new(move |_| {
                 Sequential::new().push(CountingIdentity {
                     executed_samples: Arc::clone(&executed),
                 })
             }),
-        })
+        ))
         .expect("load probe model");
     registry
 }
