@@ -1,23 +1,32 @@
 //! `appmult-lint`: static verification sweep over the multiplier zoo.
 //!
-//! Runs every `appmult-verify` pass — structural netlist lints, miter
-//! equivalence against the exact array multiplier, LUT metric sanity, and
-//! Eq. 5/6 gradient consistency — over all Table I designs (including the
-//! cached `_syn` synthesis results) plus deliberately faulty negative
-//! controls. Prints a human-readable table, writes the machine-readable
-//! report to `results/LINT.json`, and exits nonzero if any design carries
-//! an error diagnostic.
+//! Runs every `appmult-verify` pass — structural netlist lints, the static
+//! analysis stack (timing, structural hashing, ternary constant
+//! propagation), miter equivalence against the exact array multiplier, LUT
+//! metric sanity, and Eq. 5/6 gradient consistency — over all Table I
+//! designs (including the cached `_syn` synthesis results) plus
+//! deliberately faulty negative controls. Prints a human-readable table
+//! with the per-design critical path, writes the machine-readable reports
+//! to `results/LINT.json` (`appmult-lint/v2`) and `results/ANALYZE.json`
+//! (`appmult-analyze/v1`), and exits:
+//!
+//! - `0` when the sweep is clean,
+//! - `1` when any design carries an error diagnostic,
+//! - `2` when `--fail-on-warn` is given and the sweep carries warnings
+//!   (but no errors; errors always win).
 //!
 //! ```text
-//! cargo run --release -p appmult-bench --bin appmult-lint
+//! cargo run --release -p appmult-bench --bin appmult-lint -- [--fail-on-warn]
 //! ```
 
 use std::process::ExitCode;
 
-use appmult_bench::{markdown_table, write_results};
+use appmult_bench::{markdown_table, write_results, Args};
 use appmult_verify::{lint_zoo, MultiplierEquiv, Severity};
 
 fn main() -> ExitCode {
+    let args = Args::from_env();
+    let fail_on_warn = args.flag("fail-on-warn");
     let report = lint_zoo();
 
     let rows: Vec<Vec<String>> = report
@@ -36,12 +45,18 @@ fn main() -> ExitCode {
                 Some(MultiplierEquiv::Counterexample(c)) => format!("differs: {c}"),
                 None => "-".to_string(),
             };
+            let (delay, depth) = match &d.analysis {
+                Some(a) => (format!("{:.1}", a.cost.delay_ps), a.depth.to_string()),
+                None => ("-".to_string(), "-".to_string()),
+            };
             vec![
                 d.name.clone(),
                 d.bits.to_string(),
                 d.kind.as_str().to_string(),
                 d.error_count().to_string(),
                 d.warning_count().to_string(),
+                delay,
+                depth,
                 equivalence,
             ]
         })
@@ -55,11 +70,42 @@ fn main() -> ExitCode {
                 "kind",
                 "errors",
                 "warnings",
+                "delay_ps",
+                "depth",
                 "equivalence vs exact"
             ],
             &rows
         )
     );
+
+    // The slowest design's critical path, gate by gate.
+    if let Some(d) = report
+        .designs
+        .iter()
+        .filter(|d| d.analysis.is_some())
+        .max_by(|x, y| {
+            let dx = x.analysis.as_ref().map_or(0.0, |a| a.cost.delay_ps);
+            let dy = y.analysis.as_ref().map_or(0.0, |a| a.cost.delay_ps);
+            dx.total_cmp(&dy)
+        })
+    {
+        let a = d.analysis.as_ref().expect("filtered to analyzed designs");
+        println!(
+            "\ncritical path of {} ({:.1} ps, {} gates):",
+            d.name,
+            a.cost.delay_ps,
+            a.critical_path.len()
+        );
+        for g in &a.critical_path {
+            println!(
+                "  {:>6}  {:<5}  +{:>5.1} ps  @ {:>7.1} ps",
+                format!("{}", g.signal),
+                format!("{}", g.kind),
+                g.delay_ps,
+                g.arrival_ps
+            );
+        }
+    }
 
     for d in &report.designs {
         for diag in &d.diagnostics {
@@ -69,17 +115,21 @@ fn main() -> ExitCode {
         }
     }
 
-    let path = write_results("LINT.json", &report.to_json());
+    let lint_path = write_results("LINT.json", &report.to_json());
+    let analyze_path = write_results("ANALYZE.json", &report.analysis_json());
     println!(
-        "\n{} designs, {} errors, {} warnings -> {}",
+        "\n{} designs, {} errors, {} warnings -> {} + {}",
         report.designs.len(),
         report.error_count(),
         report.warning_count(),
-        path.display()
+        lint_path.display(),
+        analyze_path.display()
     );
 
     if report.error_count() > 0 {
-        ExitCode::FAILURE
+        ExitCode::from(1)
+    } else if fail_on_warn && report.warning_count() > 0 {
+        ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
     }

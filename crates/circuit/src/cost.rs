@@ -40,6 +40,17 @@ impl GateCosts {
         delay: 0.0,
         energy: 0.0,
     };
+
+    /// The raw (pre-calibration) cost constants of a gate type.
+    ///
+    /// These are the relative standard-cell ratios the whole model is built
+    /// on; multiply by the [`CostModel`] scale accessors to obtain absolute
+    /// units. Exposed so external analyses (e.g. the `appmult-verify`
+    /// static timing pass) can reproduce [`CostModel::estimate_netlist`]
+    /// bit-for-bit instead of re-inventing a diverging delay table.
+    pub fn of(kind: GateKind) -> GateCosts {
+        raw_costs(kind)
+    }
 }
 
 /// Estimated hardware cost of a netlist.
@@ -197,6 +208,27 @@ impl CostModel {
     pub fn estimate(&self, circuit: &MultiplierCircuit) -> HardwareCost {
         self.estimate_netlist(circuit.netlist())
     }
+
+    /// Picoseconds per raw delay unit (the calibration factor applied to
+    /// [`GateCosts::of`] delays).
+    ///
+    /// External timing analyses must accumulate arrivals in *raw* units and
+    /// apply this scale once at the end — exactly what
+    /// [`CostModel::estimate_netlist`] does — to stay bit-identical with
+    /// the cost model's reported `delay_ps`.
+    pub fn delay_scale_ps(&self) -> f64 {
+        self.delay_scale
+    }
+
+    /// Calibrated propagation delay of one gate of the given kind, in ps.
+    pub fn gate_delay_ps(&self, kind: GateKind) -> f64 {
+        raw_costs(kind).delay * self.delay_scale
+    }
+
+    /// Calibrated cell area of one gate of the given kind, in um^2.
+    pub fn gate_area_um2(&self, kind: GateKind) -> f64 {
+        raw_costs(kind).area * self.area_scale
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +297,33 @@ mod tests {
         let n = c.normalized_to(&c);
         assert!((n.power_uw - 1.0).abs() < 1e-12);
         assert!((n.delay_ps - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_table_exposure_is_consistent() {
+        let model = CostModel::asap7();
+        for kind in [
+            GateKind::Input,
+            GateKind::Const0,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+        ] {
+            let raw = GateCosts::of(kind);
+            assert_eq!(
+                model.gate_delay_ps(kind),
+                raw.delay * model.delay_scale_ps()
+            );
+            assert!(model.gate_area_um2(kind) >= 0.0);
+        }
+        // Free nodes really are free; XOR is the slowest cell.
+        assert_eq!(model.gate_delay_ps(GateKind::Buf), 0.0);
+        assert!(model.gate_delay_ps(GateKind::Xor) > model.gate_delay_ps(GateKind::And));
     }
 
     #[test]

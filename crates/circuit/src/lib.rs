@@ -45,4 +45,4 @@ pub use fault::{
     exhaustive_table_faulted, fault_sites, simulate_words_faulted, FaultKind, FaultSpec,
 };
 pub use netlist::{Gate, GateKind, Netlist, NetlistError, Signal};
-pub use sim::{simulate_bools, simulate_words, ExhaustiveTable};
+pub use sim::{signal_probabilities, simulate_bools, simulate_words, ExhaustiveTable};

@@ -503,6 +503,44 @@ impl Netlist {
         counts
     }
 
+    /// Logic level of every node: 0 for arity-0 nodes (inputs, constants),
+    /// `1 + max(fanin levels)` otherwise.
+    ///
+    /// Levels are only meaningful on a topologically valid netlist
+    /// ([`Netlist::validate`]); forward or out-of-range fanins are treated
+    /// as level 0 so the helper never panics on netlists the structural
+    /// lints would reject.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let mut level = 0;
+            for k in 0..g.kind.arity() {
+                let f = g.fanins[k].index();
+                if f < i {
+                    level = level.max(levels[f] + 1);
+                }
+            }
+            levels[i] = level;
+        }
+        levels
+    }
+
+    /// Fanout adjacency: for every signal, the gates that read it, one
+    /// entry per fanin slot (a gate fed twice by the same signal appears
+    /// twice, mirroring [`Netlist::fanout_counts`]). Out-of-range fanins
+    /// are skipped, as in `fanout_counts`.
+    pub fn fanout_lists(&self) -> Vec<Vec<Signal>> {
+        let mut lists = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            for k in 0..g.kind.arity() {
+                if let Some(l) = lists.get_mut(g.fanins[k].index()) {
+                    l.push(Signal(i as u32));
+                }
+            }
+        }
+        lists
+    }
+
     /// Marks the cone of logic reachable from the outputs.
     ///
     /// Returns one flag per node; unmarked nodes are dead and do not
@@ -737,6 +775,45 @@ mod tests {
         let raw = Netlist::from_raw_parts(gates, vec![a, b], vec![g]);
         assert_eq!(raw, nl);
         assert!(raw.validate().is_ok());
+    }
+
+    #[test]
+    fn levels_and_fanout_lists_agree_with_structure() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let (s, co) = nl.full_adder(a, b, c);
+        nl.set_outputs(vec![s, co]);
+        let levels = nl.levels();
+        assert_eq!(levels[a.index()], 0);
+        // sum = xor(xor(a, b), c) sits two levels deep.
+        assert_eq!(levels[s.index()], 2);
+        // carry = or(and(xor(a, b), c), and(a, b)): three gate levels deep
+        // through the xor-and-or chain.
+        assert_eq!(levels[co.index()], 3);
+
+        let lists = nl.fanout_lists();
+        let counts = nl.fanout_counts();
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list.len(), counts[i] as usize, "n{i}");
+        }
+        // Every listed reader really has the signal as a fanin.
+        for (i, list) in lists.iter().enumerate() {
+            for &reader in list {
+                let g = nl.gate(reader);
+                assert!((0..g.kind.arity()).any(|k| g.fanins[k].index() == i));
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_lists_double_count_twin_fanins() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let twin = nl.xor(a, a);
+        nl.set_outputs(vec![twin]);
+        assert_eq!(nl.fanout_lists()[a.index()], vec![twin, twin]);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Structural hashing: functionally duplicate gate detection.
+//!
+//! Classic strash, one topological pass: every node gets a canonical
+//! *representative* — itself, unless an earlier node computes the same
+//! function. Buffers are transparent (their representative is their
+//! fanin's), constants of the same polarity share one class, and two-input
+//! gates are keyed by `(kind, sorted representative fanins)`, so
+//! commutative twins (`and(a, b)` vs `and(b, a)`) and duplicates hiding
+//! behind buffer chains are both found. A duplicate physical gate is
+//! mergeable logic: it costs area and power but adds no function.
+
+use std::collections::HashMap;
+
+use appmult_circuit::{GateKind, Signal};
+
+use crate::analysis::AnalysisContext;
+use crate::diag::Diagnostic;
+
+/// Result of structural hashing one netlist.
+#[derive(Debug, Clone)]
+pub struct StrashReport {
+    /// Canonical representative per node (`class_of[i] == i`'s signal for
+    /// class leaders; buffers resolve to their driver's representative).
+    pub class_of: Vec<Signal>,
+    /// Duplicate physical gates as `(duplicate, representative)` pairs, in
+    /// topological order of the duplicate.
+    pub duplicates: Vec<(Signal, Signal)>,
+    /// Number of distinct structural classes among physical gates.
+    pub classes: usize,
+}
+
+impl StrashReport {
+    /// Number of physical gates that could be merged away.
+    pub fn mergeable_gates(&self) -> usize {
+        self.duplicates.len()
+    }
+}
+
+/// Runs structural hashing over the context's netlist.
+pub fn strash(ctx: &AnalysisContext<'_>) -> StrashReport {
+    let netlist = ctx.netlist();
+    let n = netlist.num_nodes();
+    let mut class_of: Vec<Signal> = Vec::with_capacity(n);
+    let mut table: HashMap<(GateKind, usize, usize), Signal> = HashMap::new();
+    let mut duplicates = Vec::new();
+    let mut classes = 0usize;
+    for (sig, gate) in netlist.iter() {
+        let i = sig.index();
+        // Representative of a fanin; forward/out-of-range references keep
+        // their own identity (they cannot alias anything sound).
+        let rep = |s: Signal| {
+            if s.index() < i {
+                class_of[s.index()]
+            } else {
+                s
+            }
+        };
+        let canonical = match gate.kind {
+            GateKind::Input => sig,
+            GateKind::Buf => rep(gate.fanins[0]),
+            GateKind::Const0 | GateKind::Const1 => *table.entry((gate.kind, 0, 0)).or_insert(sig),
+            GateKind::Not => {
+                let a = rep(gate.fanins[0]).index();
+                *table.entry((gate.kind, a, a)).or_insert(sig)
+            }
+            // All two-input kinds in this netlist are commutative.
+            _ => {
+                let a = rep(gate.fanins[0]).index();
+                let b = rep(gate.fanins[1]).index();
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                *table.entry((gate.kind, lo, hi)).or_insert(sig)
+            }
+        };
+        if gate.kind.is_physical() {
+            if canonical == sig {
+                classes += 1;
+            } else {
+                duplicates.push((sig, canonical));
+            }
+        }
+        class_of.push(canonical);
+    }
+    StrashReport {
+        class_of,
+        duplicates,
+        classes,
+    }
+}
+
+/// Cap on individually reported duplicates; beyond it one summary info
+/// diagnostic carries the total.
+const MAX_DUP_DIAGS: usize = 16;
+
+/// Diagnostics of the structural-hashing pass: `strash-dup` (info) per
+/// duplicate physical gate, capped with a summary entry.
+pub fn strash_diagnostics(ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+    let report = strash(ctx);
+    let netlist = ctx.netlist();
+    let mut diags = Vec::new();
+    for &(dup, canon) in report.duplicates.iter().take(MAX_DUP_DIAGS) {
+        let kind = netlist.gate(dup).kind;
+        diags.push(Diagnostic::info(
+            "strash-dup",
+            format!("{dup}"),
+            format!("{kind} gate {dup} duplicates {canon}; mergeable"),
+        ));
+    }
+    if report.duplicates.len() > MAX_DUP_DIAGS {
+        diags.push(Diagnostic::info(
+            "strash-dup",
+            "netlist",
+            format!(
+                "{} further duplicate gates not reported individually ({} total)",
+                report.duplicates.len() - MAX_DUP_DIAGS,
+                report.duplicates.len()
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_circuit::{MultiplierCircuit, Netlist};
+
+    #[test]
+    fn commutative_twins_and_buffered_duplicates_are_found() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let g = nl.and(a, b);
+        let swapped = nl.and(b, a); // commutative duplicate of g
+        let ab = nl.buf(a);
+        let through_buf = nl.and(ab, b); // duplicate of g through a buffer
+        let distinct = nl.or(a, b);
+        let y = nl.xor(g, swapped);
+        let z = nl.xor(through_buf, distinct);
+        nl.set_outputs(vec![y, z]);
+        let ctx = AnalysisContext::new(&nl);
+        let report = strash(&ctx);
+        assert_eq!(
+            report.duplicates,
+            vec![(swapped, g), (through_buf, g)],
+            "{report:?}"
+        );
+        assert_eq!(report.mergeable_gates(), 2);
+        // g, distinct, y, z are the distinct physical classes.
+        assert_eq!(report.classes, 4);
+        let diags = strash_diagnostics(&ctx);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.pass == "strash-dup"));
+    }
+
+    #[test]
+    fn downstream_of_duplicates_also_merges() {
+        // xor over duplicated ANDs is itself a duplicate: the class
+        // structure propagates through representatives.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let g1 = nl.and(a, b);
+        let g2 = nl.and(b, a);
+        let x1 = nl.xor(g1, c);
+        let x2 = nl.xor(g2, c);
+        let out = nl.or(x1, x2);
+        nl.set_outputs(vec![out]);
+        let report = strash(&AnalysisContext::new(&nl));
+        assert!(report.duplicates.contains(&(g2, g1)));
+        assert!(report.duplicates.contains(&(x2, x1)));
+    }
+
+    #[test]
+    fn duplicate_constants_share_a_class() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let z1 = nl.const0();
+        let z2 = nl.const0();
+        let one = nl.const1();
+        let g1 = nl.or(a, z1);
+        let g2 = nl.or(a, z2); // same class: const0s alias
+        let g3 = nl.or(a, one); // different: const1
+        nl.set_outputs(vec![g1, g2, g3]);
+        let report = strash(&AnalysisContext::new(&nl));
+        assert_eq!(report.duplicates, vec![(g2, g1)]);
+    }
+
+    #[test]
+    fn generated_multipliers_have_no_duplicate_logic() {
+        for circuit in [MultiplierCircuit::array(5), MultiplierCircuit::wallace(5)] {
+            let nl = circuit.netlist();
+            let report = strash(&AnalysisContext::new(nl));
+            assert_eq!(report.duplicates, vec![], "{circuit:?}");
+            assert_eq!(report.classes, nl.num_physical_gates());
+        }
+    }
+}

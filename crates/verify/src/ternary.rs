@@ -1,0 +1,402 @@
+//! Ternary (0/1/X) constant propagation.
+//!
+//! An abstract interpreter over the three-valued domain {0, 1, X}: every
+//! primary input is unknown (X), constants are known, and each gate's
+//! abstract function is the strongest sound approximation of its boolean
+//! function (e.g. `AND(0, X) = 0`, `XOR(X, X) = X`). A gate whose abstract
+//! value is 0 or 1 is therefore *proved* constant for **every** input
+//! vector — including whole cones downstream of a constant, which the
+//! single-gate `const-fold` lint cannot see.
+//!
+//! Soundness contract (property-tested against the 64-way word-parallel
+//! simulator): if [`ternary_eval`] assigns a definite value to a node,
+//! concrete simulation agrees under every concretization of the X inputs.
+
+use appmult_circuit::{GateKind, Netlist, Signal};
+
+use crate::analysis::AnalysisContext;
+use crate::diag::Diagnostic;
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ternary {
+    /// Proved logic 0.
+    Zero,
+    /// Proved logic 1.
+    One,
+    /// Unknown (depends on at least one X input).
+    X,
+}
+
+impl Ternary {
+    /// The definite boolean value, if proved.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        }
+    }
+
+    fn from_bool(b: bool) -> Self {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+
+    fn not(self) -> Self {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+
+    fn and(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+            (Ternary::One, Ternary::One) => Ternary::One,
+            _ => Ternary::X,
+        }
+    }
+
+    fn or(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Ternary::One, _) | (_, Ternary::One) => Ternary::One,
+            (Ternary::Zero, Ternary::Zero) => Ternary::Zero,
+            _ => Ternary::X,
+        }
+    }
+
+    fn xor(self, rhs: Self) -> Self {
+        match (self.known(), rhs.known()) {
+            (Some(a), Some(b)) => Self::from_bool(a ^ b),
+            _ => Ternary::X,
+        }
+    }
+}
+
+impl std::fmt::Display for Ternary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Ternary::Zero => "0",
+            Ternary::One => "1",
+            Ternary::X => "X",
+        })
+    }
+}
+
+/// Evaluates the netlist over the ternary domain with the given primary
+/// input assignment (in [`Netlist::inputs`] order).
+///
+/// Out-of-range fanins evaluate to X (the structural lints report them as
+/// errors separately), so the interpreter never panics on malformed
+/// netlists.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the number of primary inputs.
+pub fn ternary_eval(netlist: &Netlist, inputs: &[Ternary]) -> Vec<Ternary> {
+    assert_eq!(
+        inputs.len(),
+        netlist.num_inputs(),
+        "expected one ternary value per primary input"
+    );
+    let mut values = vec![Ternary::X; netlist.num_nodes()];
+    let mut next_input = 0;
+    for (sig, gate) in netlist.iter() {
+        let i = sig.index();
+        // Forward references read the lattice top (X): sound, because any
+        // stale concrete value is covered by "unknown".
+        let at = |s: Signal| {
+            if s.index() < i {
+                values[s.index()]
+            } else {
+                Ternary::X
+            }
+        };
+        let a = at(gate.fanins[0]);
+        let b = at(gate.fanins[1]);
+        values[i] = match gate.kind {
+            GateKind::Input => {
+                let v = inputs[next_input];
+                next_input += 1;
+                v
+            }
+            GateKind::Const0 => Ternary::Zero,
+            GateKind::Const1 => Ternary::One,
+            GateKind::Buf => a,
+            GateKind::Not => a.not(),
+            GateKind::And => a.and(b),
+            GateKind::Or => a.or(b),
+            GateKind::Xor => a.xor(b),
+            GateKind::Nand => a.and(b).not(),
+            GateKind::Nor => a.or(b).not(),
+            GateKind::Xnor => a.xor(b).not(),
+        };
+    }
+    values
+}
+
+/// Findings of the all-X constant-propagation pass.
+#[derive(Debug, Clone)]
+pub struct TernaryReport {
+    /// Abstract value per node under all-X primary inputs.
+    pub values: Vec<Ternary>,
+    /// Physical gates proved constant (signal, proved value). Declared
+    /// `Const0`/`Const1` nodes are not listed — only logic that *computes*
+    /// a constant, i.e. the foldable cone.
+    pub const_gates: Vec<(Signal, bool)>,
+    /// Primary outputs proved constant: (output position, signal, value,
+    /// declared). `declared` marks outputs tied to a constant node through
+    /// buffers only (intentional, e.g. truncated product columns) as
+    /// opposed to outputs that a logic cone collapses to.
+    pub stuck_outputs: Vec<StuckOutput>,
+}
+
+/// One primary output proved independent of every input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckOutput {
+    /// Position in [`Netlist::outputs`].
+    pub position: usize,
+    /// The output signal.
+    pub signal: Signal,
+    /// The proved value.
+    pub value: bool,
+    /// Whether the output is *declared* constant (driven by a
+    /// `Const0`/`Const1` node through buffers only) rather than collapsed
+    /// by constant propagation through real logic.
+    pub declared: bool,
+}
+
+/// Runs ternary constant propagation under all-X inputs.
+pub fn ternary_analysis(ctx: &AnalysisContext<'_>) -> TernaryReport {
+    let netlist = ctx.netlist();
+    let values = ternary_eval(netlist, &vec![Ternary::X; netlist.num_inputs()]);
+    let const_gates = netlist
+        .iter()
+        .filter(|(_, g)| g.kind.is_physical())
+        .filter_map(|(s, _)| values[s.index()].known().map(|v| (s, v)))
+        .collect();
+    let stuck_outputs = netlist
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter_map(|(position, &signal)| {
+            let value = values.get(signal.index()).copied()?.known()?;
+            Some(StuckOutput {
+                position,
+                signal,
+                value,
+                declared: is_declared_const(netlist, signal),
+            })
+        })
+        .collect();
+    TernaryReport {
+        values,
+        const_gates,
+        stuck_outputs,
+    }
+}
+
+/// Whether `signal` reaches a `Const0`/`Const1` node through buffers only.
+fn is_declared_const(netlist: &Netlist, mut signal: Signal) -> bool {
+    loop {
+        match netlist.try_gate(signal) {
+            Ok(g) if matches!(g.kind, GateKind::Const0 | GateKind::Const1) => return true,
+            Ok(g) if g.kind == GateKind::Buf => signal = g.fanins[0],
+            _ => return false,
+        }
+    }
+}
+
+/// Cap on individually reported constant gates per netlist; beyond it a
+/// single summary diagnostic carries the total (matching the capped
+/// reporting idiom of the gradient-table lints).
+const MAX_CONST_GATE_DIAGS: usize = 16;
+
+/// Diagnostics of the constant-propagation pass:
+///
+/// - `ternary-const` (info): a physical gate proved constant for every
+///   input vector — the whole cone is foldable, not just gates with a
+///   literal constant fanin.
+/// - `stuck-output` (info when declared, warning when collapsed): a
+///   primary output proved independent of every input.
+pub fn ternary_diagnostics(ctx: &AnalysisContext<'_>) -> Vec<Diagnostic> {
+    let report = ternary_analysis(ctx);
+    let netlist = ctx.netlist();
+    let mut diags = Vec::new();
+    for &(sig, value) in report.const_gates.iter().take(MAX_CONST_GATE_DIAGS) {
+        let kind = netlist.gate(sig).kind;
+        diags.push(Diagnostic::info(
+            "ternary-const",
+            format!("{sig}"),
+            format!(
+                "{kind} gate {sig} is proved constant {} for every input",
+                u8::from(value)
+            ),
+        ));
+    }
+    if report.const_gates.len() > MAX_CONST_GATE_DIAGS {
+        diags.push(Diagnostic::info(
+            "ternary-const",
+            "netlist",
+            format!(
+                "{} further constant gates not reported individually ({} total)",
+                report.const_gates.len() - MAX_CONST_GATE_DIAGS,
+                report.const_gates.len()
+            ),
+        ));
+    }
+    for stuck in &report.stuck_outputs {
+        let what = format!(
+            "output {} ({}) is stuck at {} for every input",
+            stuck.position,
+            stuck.signal,
+            u8::from(stuck.value)
+        );
+        diags.push(if stuck.declared {
+            Diagnostic::info(
+                "stuck-output",
+                format!("{}", stuck.signal),
+                what + " (declared constant)",
+            )
+        } else {
+            Diagnostic::warning(
+                "stuck-output",
+                format!("{}", stuck.signal),
+                what + " (collapsed by constant propagation)",
+            )
+        });
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_tables_are_sound_abstractions() {
+        use Ternary::{One, Zero, X};
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(One), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(Zero), X);
+        assert_eq!(X.xor(One), X);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(X.not(), X);
+        assert_eq!(Zero.not(), One);
+        assert_eq!(format!("{Zero}{One}{X}"), "01X");
+    }
+
+    #[test]
+    fn constant_cone_is_proved_not_just_direct_fanins() {
+        // one -> or(a, one)=1 -> and(b, that)=b -> xor(that, b)=0:
+        // the constant propagates through two levels of real logic.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let one = nl.const1();
+        let o = nl.or(a, one);
+        let f = nl.and(b, o);
+        let z = nl.xor(f, b);
+        nl.set_outputs(vec![z]);
+        let ctx = AnalysisContext::new(&nl);
+        let report = ternary_analysis(&ctx);
+        assert_eq!(report.values[o.index()], Ternary::One);
+        assert_eq!(report.values[f.index()], Ternary::X, "f == b, unknown");
+        assert_eq!(report.values[z.index()], Ternary::X, "xor(b, b) needs BDDs");
+        assert!(report.const_gates.contains(&(o, true)));
+        // `one` itself is declared, not computed: not in const_gates.
+        assert!(!report.const_gates.iter().any(|&(s, _)| s == one));
+    }
+
+    #[test]
+    fn deep_collapse_reaches_outputs() {
+        // and(a, 0) = 0 -> or with another const-0 cone stays 0 at the
+        // output, which is a *collapsed* (not declared) stuck output.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let zero = nl.const0();
+        let g = nl.and(a, zero);
+        let h = nl.and(b, g);
+        let out = nl.or(g, h);
+        nl.set_outputs(vec![out]);
+        let ctx = AnalysisContext::new(&nl);
+        let report = ternary_analysis(&ctx);
+        assert_eq!(report.stuck_outputs.len(), 1);
+        let stuck = report.stuck_outputs[0];
+        assert_eq!(
+            (stuck.signal, stuck.value, stuck.declared),
+            (out, false, false)
+        );
+        let diags = ternary_diagnostics(&ctx);
+        assert!(diags
+            .iter()
+            .any(|d| d.pass == "stuck-output" && d.severity == crate::Severity::Warning));
+        assert!(diags.iter().filter(|d| d.pass == "ternary-const").count() >= 3);
+    }
+
+    #[test]
+    fn declared_const_outputs_are_info() {
+        // A truncated-column style output: buf(const0) registered directly.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let zero = nl.const0();
+        let low = nl.buf(zero);
+        let hi = nl.buf(a);
+        nl.set_outputs(vec![low, hi]);
+        let ctx = AnalysisContext::new(&nl);
+        let diags = ternary_diagnostics(&ctx);
+        let stuck: Vec<_> = diags.iter().filter(|d| d.pass == "stuck-output").collect();
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].severity, crate::Severity::Info);
+    }
+
+    #[test]
+    fn clean_netlists_produce_no_findings() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let (s, c) = nl.half_adder(a, b);
+        nl.set_outputs(vec![s, c]);
+        let ctx = AnalysisContext::new(&nl);
+        assert!(ternary_diagnostics(&ctx).is_empty());
+    }
+
+    #[test]
+    fn eval_accepts_partial_knowledge() {
+        // With a=1 known, or(a, b) is proved 1 even though b is X.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let y = nl.or(a, b);
+        let z = nl.and(a, b);
+        nl.set_outputs(vec![y, z]);
+        let values = ternary_eval(&nl, &[Ternary::One, Ternary::X]);
+        assert_eq!(values[y.index()], Ternary::One);
+        assert_eq!(values[z.index()], Ternary::X);
+    }
+
+    #[test]
+    fn capped_reporting_summarizes_large_cones() {
+        // A long chain of ANDs below a constant 0: every gate is constant.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let zero = nl.const0();
+        let mut cur = nl.and(a, zero);
+        for _ in 0..(MAX_CONST_GATE_DIAGS + 4) {
+            cur = nl.and(cur, a);
+        }
+        nl.set_outputs(vec![cur]);
+        let ctx = AnalysisContext::new(&nl);
+        let diags = ternary_diagnostics(&ctx);
+        let consts: Vec<_> = diags.iter().filter(|d| d.pass == "ternary-const").collect();
+        assert_eq!(consts.len(), MAX_CONST_GATE_DIAGS + 1, "capped + summary");
+        assert!(consts.last().unwrap().message.contains("not reported"));
+    }
+}

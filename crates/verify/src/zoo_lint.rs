@@ -1,23 +1,31 @@
 //! Full verification sweep over the multiplier zoo.
 //!
-//! [`lint_zoo`] runs every pass — structural netlist lints, miter
-//! equivalence against the exact array multiplier, LUT metric sanity, and
-//! gradient-table consistency — over all Table I designs plus deliberately
-//! faulty variants (a stuck-at netlist fault and corrupted LUT cells). The
-//! faulty variants act as negative controls: the sweep *fails* if they
-//! pass the equivalence check. The result serializes to the
-//! `results/LINT.json` schema consumed by CI.
+//! [`lint_zoo`] runs every pass — structural netlist lints, the static
+//! analysis stack (timing, structural hashing, ternary constant
+//! propagation), miter equivalence against the exact array multiplier, LUT
+//! metric sanity, and gradient-table consistency — over all Table I
+//! designs plus deliberately faulty variants (a stuck-at netlist fault and
+//! corrupted LUT cells). The faulty variants act as negative controls: the
+//! sweep *fails* if they pass the equivalence check, and the stuck-at
+//! variant must additionally trip the constant-propagation pass. The
+//! result serializes to the `results/LINT.json` (`appmult-lint/v2`) and
+//! `results/ANALYZE.json` (`appmult-analyze/v1`) schemas consumed by CI.
 
-use appmult_circuit::{fault_sites, MultiplierCircuit};
+use appmult_circuit::{fault_sites, CostModel, HardwareCost, MultiplierCircuit};
 use appmult_mult::{zoo, FaultyMultiplier, Multiplier, MultiplierLut};
 use appmult_retrain::{GradientLut, GradientMode};
 
+use crate::analysis::analyze_netlist;
 use crate::diag::{count_severity, Diagnostic, Severity};
 use crate::equiv::{
     lut_equivalence_vs_exact, prove_multiplier_equivalence, EquivConfig, MultiplierEquiv,
 };
-use crate::structural::lint_multiplier_circuit;
+use crate::sta::StaGate;
+use crate::structural::width_diagnostics;
 use crate::tables::{lint_gradient_lut, lint_multiplier_lut};
+
+/// Number of equal-width slack-histogram buckets in `ANALYZE.json`.
+const SLACK_BUCKETS: usize = 8;
 
 /// What a design is expected to be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +49,55 @@ impl DesignKind {
     }
 }
 
+/// Static-analysis summary of one gate-level design, distilled from the
+/// full [`crate::NetlistAnalysis`] for the `ANALYZE.json` report.
+#[derive(Debug, Clone)]
+pub struct DesignAnalysis {
+    /// Calibrated area/delay/power from the cost model.
+    pub cost: HardwareCost,
+    /// Levelized logic depth over the primary outputs.
+    pub depth: u32,
+    /// Output-reachable physical gates.
+    pub live_gates: usize,
+    /// Structurally duplicate (mergeable) physical gates.
+    pub duplicate_gates: usize,
+    /// Physical gates proved constant by ternary propagation.
+    pub const_gates: usize,
+    /// Primary outputs proved independent of every input.
+    pub stuck_outputs: usize,
+    /// Whether the STA delay is bit-identical to the cost model's.
+    pub sta_matches_cost_model: bool,
+    /// Slack histogram over live physical gates ([`SLACK_BUCKETS`]
+    /// equal-width bins spanning `[0, delay_ps]`).
+    pub slack_histogram: Vec<u32>,
+    /// The critical path, input to output.
+    pub critical_path: Vec<StaGate>,
+}
+
+/// Runs the full static-analysis stack over one circuit: the shared-context
+/// netlist lints plus the multiplier bus-width pass, returning both the
+/// diagnostics and the distilled [`DesignAnalysis`].
+fn lint_circuit_with_analysis(circuit: &MultiplierCircuit) -> (Vec<Diagnostic>, DesignAnalysis) {
+    let model = CostModel::asap7();
+    let nl = circuit.netlist();
+    let full = analyze_netlist(nl, &model);
+    let mut diagnostics = full.diagnostics;
+    diagnostics.extend(width_diagnostics(circuit));
+    let slack_histogram = full.sta.slack_histogram(nl, &nl.live_mask(), SLACK_BUCKETS);
+    let analysis = DesignAnalysis {
+        depth: full.depth,
+        live_gates: full.live_gates,
+        duplicate_gates: full.strash.mergeable_gates(),
+        const_gates: full.ternary.const_gates.len(),
+        stuck_outputs: full.ternary.stuck_outputs.len(),
+        sta_matches_cost_model: full.sta.delay_ps.to_bits() == full.cost.delay_ps.to_bits(),
+        slack_histogram,
+        critical_path: full.sta.critical_path,
+        cost: full.cost,
+    };
+    (diagnostics, analysis)
+}
+
 /// Verification outcome of one design.
 #[derive(Debug, Clone)]
 pub struct DesignReport {
@@ -54,6 +111,9 @@ pub struct DesignReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Equivalence result against the exact multiplier, when checked.
     pub equivalence: Option<MultiplierEquiv>,
+    /// Static-analysis summary; `None` for LUT-only designs with no
+    /// gate-level structure.
+    pub analysis: Option<DesignAnalysis>,
 }
 
 impl DesignReport {
@@ -86,11 +146,17 @@ impl ZooLintReport {
         self.designs.iter().map(DesignReport::warning_count).sum()
     }
 
-    /// Serializes the report to the `appmult-lint/v1` JSON schema.
+    /// Serializes the report to the `appmult-lint/v2` JSON schema.
+    ///
+    /// v2 adds a compact per-design `"analysis"` summary (delay, area,
+    /// power, depth, liveness, strash/ternary counts, STA agreement) for
+    /// gate-level designs; LUT-only designs carry `"analysis": null`. The
+    /// full static-analysis detail (critical path, slack histogram) lives
+    /// in the [`ZooLintReport::analysis_json`] report instead.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"appmult-lint/v1\",\n");
+        out.push_str("  \"schema\": \"appmult-lint/v2\",\n");
         out.push_str(&format!("  \"design_count\": {},\n", self.designs.len()));
         out.push_str(&format!("  \"errors\": {},\n", self.error_count()));
         out.push_str(&format!("  \"warnings\": {},\n", self.warning_count()));
@@ -124,6 +190,31 @@ impl ZooLintReport {
                 }
                 None => out.push_str("      \"equivalence\": null,\n"),
             }
+            match &d.analysis {
+                Some(a) => {
+                    out.push_str("      \"analysis\": {\n");
+                    out.push_str(&format!("        \"delay_ps\": {},\n", a.cost.delay_ps));
+                    out.push_str(&format!("        \"area_um2\": {},\n", a.cost.area_um2));
+                    out.push_str(&format!("        \"power_uw\": {},\n", a.cost.power_uw));
+                    out.push_str(&format!("        \"depth\": {},\n", a.depth));
+                    out.push_str(&format!("        \"live_gates\": {},\n", a.live_gates));
+                    out.push_str(&format!(
+                        "        \"duplicate_gates\": {},\n",
+                        a.duplicate_gates
+                    ));
+                    out.push_str(&format!("        \"const_gates\": {},\n", a.const_gates));
+                    out.push_str(&format!(
+                        "        \"stuck_outputs\": {},\n",
+                        a.stuck_outputs
+                    ));
+                    out.push_str(&format!(
+                        "        \"sta_matches_cost_model\": {}\n",
+                        a.sta_matches_cost_model
+                    ));
+                    out.push_str("      },\n");
+                }
+                None => out.push_str("      \"analysis\": null,\n"),
+            }
             out.push_str("      \"diagnostics\": [\n");
             for (j, diag) in d.diagnostics.iter().enumerate() {
                 out.push_str(&format!(
@@ -139,6 +230,78 @@ impl ZooLintReport {
             out.push_str(&format!(
                 "    }}{}\n",
                 if i + 1 < self.designs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the static-analysis sweep to the `appmult-analyze/v1`
+    /// JSON schema: one record per gate-level design with cost, depth,
+    /// liveness, strash/ternary counts, the slack histogram, and the full
+    /// gate-by-gate critical path. LUT-only designs are omitted (they have
+    /// no netlist to analyze); `design_count` still counts every design in
+    /// the sweep so the omission is visible.
+    pub fn analysis_json(&self) -> String {
+        let analyzed: Vec<&DesignReport> = self
+            .designs
+            .iter()
+            .filter(|d| d.analysis.is_some())
+            .collect();
+        let mut out = String::with_capacity(8192);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"appmult-analyze/v1\",\n");
+        out.push_str(&format!("  \"design_count\": {},\n", self.designs.len()));
+        out.push_str(&format!("  \"analyzed_count\": {},\n", analyzed.len()));
+        out.push_str("  \"designs\": [\n");
+        for (i, d) in analyzed.iter().enumerate() {
+            let a = d.analysis.as_ref().expect("filtered to analyzed designs");
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&d.name)));
+            out.push_str(&format!("      \"bits\": {},\n", d.bits));
+            out.push_str(&format!("      \"kind\": \"{}\",\n", d.kind.as_str()));
+            out.push_str(&format!("      \"delay_ps\": {},\n", a.cost.delay_ps));
+            out.push_str(&format!("      \"area_um2\": {},\n", a.cost.area_um2));
+            out.push_str(&format!("      \"power_uw\": {},\n", a.cost.power_uw));
+            out.push_str(&format!("      \"depth\": {},\n", a.depth));
+            out.push_str(&format!("      \"live_gates\": {},\n", a.live_gates));
+            out.push_str(&format!(
+                "      \"duplicate_gates\": {},\n",
+                a.duplicate_gates
+            ));
+            out.push_str(&format!("      \"const_gates\": {},\n", a.const_gates));
+            out.push_str(&format!("      \"stuck_outputs\": {},\n", a.stuck_outputs));
+            out.push_str(&format!(
+                "      \"sta_matches_cost_model\": {},\n",
+                a.sta_matches_cost_model
+            ));
+            out.push_str(&format!(
+                "      \"slack_bucket_ps\": {},\n",
+                a.cost.delay_ps / a.slack_histogram.len().max(1) as f64
+            ));
+            out.push_str(&format!(
+                "      \"slack_histogram\": [{}],\n",
+                a.slack_histogram
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            out.push_str("      \"critical_path\": [\n");
+            for (j, g) in a.critical_path.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"signal\": \"{}\", \"gate\": \"{}\", \"delay_ps\": {}, \"arrival_ps\": {}}}{}\n",
+                    g.signal,
+                    g.kind,
+                    g.delay_ps,
+                    g.arrival_ps,
+                    if j + 1 < a.critical_path.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < analyzed.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -190,9 +353,12 @@ fn lint_with_lut<M: Multiplier + ?Sized>(
     });
 
     let cfg = EquivConfig::default();
+    let mut analysis = None;
     let equivalence = match m.circuit() {
         Some(circuit) => {
-            diagnostics.extend(lint_multiplier_circuit(&circuit));
+            let (circuit_diags, circuit_analysis) = lint_circuit_with_analysis(&circuit);
+            diagnostics.extend(circuit_diags);
+            analysis = Some(circuit_analysis);
             // The gate-level structure must implement the behavioural model.
             let products = circuit.exhaustive_products();
             if let Some(idx) = products
@@ -261,6 +427,7 @@ fn lint_with_lut<M: Multiplier + ?Sized>(
         kind,
         diagnostics,
         equivalence,
+        analysis,
     }
 }
 
@@ -277,7 +444,16 @@ fn lint_stuck_at_variant() -> DesignReport {
         .expect("fault injection preserves the bus shapes");
     let name = format!("mul8u_array_sa1@{site}");
 
-    let mut diagnostics = lint_multiplier_circuit(&circuit);
+    let (mut diagnostics, analysis) = lint_circuit_with_analysis(&circuit);
+    // The fault ties logic to a constant, so the ternary pass must find a
+    // constant cone or a stuck output; its silence would be a lint bug.
+    if analysis.const_gates == 0 && analysis.stuck_outputs == 0 {
+        diagnostics.push(Diagnostic::error(
+            "ternary",
+            name.clone(),
+            "stuck-at-1 fault was not detected by constant propagation",
+        ));
+    }
     let equivalence = match prove_multiplier_equivalence(&circuit, &base, &EquivConfig::default()) {
         Ok(r) => Some(r),
         Err(e) => {
@@ -302,6 +478,7 @@ fn lint_stuck_at_variant() -> DesignReport {
         kind: DesignKind::Faulty,
         diagnostics,
         equivalence,
+        analysis: Some(analysis),
     }
 }
 
@@ -311,6 +488,8 @@ fn lint_corrupted_lut_variant() -> DesignReport {
     let faulty = FaultyMultiplier::corrupt_lut(&clean, 4, 0xBAD_CE11);
     let lut = faulty.clone().into_lut();
     let name = lut.name().to_string();
+    // LUT corruption has no gate-level structure, so `analysis` stays
+    // `None`: the control exercises the table scan, not the netlist passes.
     let mut report = lint_with_lut(&name, &faulty, &lut, 4, Some(DesignKind::Faulty));
     if let Some(MultiplierEquiv::Equivalent { .. }) = report.equivalence {
         report.diagnostics.push(Diagnostic::error(
@@ -328,7 +507,7 @@ fn lint_sampled_equivalence() -> DesignReport {
     let array = MultiplierCircuit::array(10);
     let wallace = MultiplierCircuit::wallace(10);
     let name = "mul10u_wallace_vs_array".to_string();
-    let mut diagnostics = lint_multiplier_circuit(&wallace);
+    let (mut diagnostics, analysis) = lint_circuit_with_analysis(&wallace);
     let equivalence = match prove_multiplier_equivalence(&wallace, &array, &EquivConfig::default())
     {
         Ok(r) => Some(r),
@@ -354,6 +533,7 @@ fn lint_sampled_equivalence() -> DesignReport {
         kind: DesignKind::Exact,
         diagnostics,
         equivalence,
+        analysis: Some(analysis),
     }
 }
 
@@ -457,11 +637,65 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\": \"appmult-lint/v1\""));
+        assert!(json.contains("\"schema\": \"appmult-lint/v2\""));
         assert!(json.contains("\"status\": \"equivalent\""));
         assert!(json.contains("\"status\": \"counterexample\""));
+        assert!(json.contains("\"sta_matches_cost_model\": true"));
         assert_eq!(json.matches("\"name\":").count(), 2);
         // Balanced braces and brackets (no raw quotes inside values).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn circuit_designs_carry_an_analysis_summary() {
+        let r = lint_multiplier("mul5u_acc", &ExactMultiplier::new(5), 1);
+        let a = r.analysis.expect("gate-level design is analyzed");
+        assert!(a.sta_matches_cost_model);
+        assert_eq!(a.duplicate_gates, 0);
+        assert_eq!(a.const_gates, 0);
+        assert_eq!(a.stuck_outputs, 0);
+        assert!(a.depth > 0);
+        assert!(!a.critical_path.is_empty());
+        assert_eq!(a.slack_histogram.iter().sum::<u32>() as usize, a.live_gates);
+
+        // Truncated designs tie low product columns to const0: declared
+        // stuck outputs, still no collapsed logic.
+        let r = lint_multiplier("mul5u_rm4", &TruncatedMultiplier::new(5, 4), 2);
+        let a = r.analysis.as_ref().expect("gate-level design is analyzed");
+        assert_eq!(a.stuck_outputs, 4);
+        assert_eq!(r.error_count(), 0, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn stuck_at_control_trips_constant_propagation() {
+        let r = lint_stuck_at_variant();
+        let a = r.analysis.as_ref().expect("netlist variant is analyzed");
+        assert!(
+            a.const_gates + a.stuck_outputs > 0,
+            "the injected constant must be visible to the ternary pass"
+        );
+        assert!(
+            r.diagnostics.iter().all(|d| d.pass != "ternary"),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn analysis_json_is_well_formed() {
+        let report = ZooLintReport {
+            designs: vec![
+                lint_multiplier("mul5u_acc", &ExactMultiplier::new(5), 1),
+                lint_corrupted_lut_variant(),
+            ],
+        };
+        let json = report.analysis_json();
+        assert!(json.contains("\"schema\": \"appmult-analyze/v1\""));
+        assert!(json.contains("\"design_count\": 2"));
+        // The LUT-only control is omitted from the analyzed designs.
+        assert!(json.contains("\"analyzed_count\": 1"));
+        assert!(json.contains("\"critical_path\": ["));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

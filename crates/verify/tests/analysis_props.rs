@@ -1,0 +1,224 @@
+//! Property tests for the static-analysis framework.
+//!
+//! Two contracts, each checked over randomized structures with shrinking:
+//!
+//! - **Ternary soundness**: whatever the 0/1/X abstract interpreter proves
+//!   about a netlist must hold under *every* concretization of the X
+//!   inputs in the 64-way word-parallel simulator.
+//! - **STA/cost-model agreement**: on arbitrarily ALS-mutated multiplier
+//!   netlists, the static-timing delay stays bit-identical to
+//!   [`CostModel::estimate_netlist`], and the reported critical path stays
+//!   a connected chain whose gate delays sum to it.
+
+use appmult_circuit::{fault_sites, simulate_bools, CostModel, MultiplierCircuit, Netlist, Signal};
+use appmult_rng::prop::forall_with;
+use appmult_verify::{sta, ternary_eval, AnalysisContext, Ternary};
+
+/// A randomly generated combinational block: ternary input values (0, 1,
+/// or 2 = X) plus gate descriptors whose fanins index earlier signals
+/// modulo the signals built so far.
+#[derive(Debug, Clone, PartialEq)]
+struct RandomLogic {
+    inputs: Vec<u8>,
+    gates: Vec<(u8, u8, u8)>,
+}
+
+/// Materializes the genome into a netlist (every gate is an output) and
+/// the ternary input assignment.
+fn build(case: &RandomLogic) -> (Netlist, Vec<Ternary>) {
+    let mut nl = Netlist::new();
+    let ins: Vec<Signal> = (0..case.inputs.len()).map(|_| nl.input()).collect();
+    let mut signals = ins.clone();
+    for &(k, a, b) in &case.gates {
+        let fa = signals[a as usize % signals.len()];
+        let fb = signals[b as usize % signals.len()];
+        let s = match k % 10 {
+            0 => nl.buf(fa),
+            1 => nl.not(fa),
+            2 => nl.and(fa, fb),
+            3 => nl.or(fa, fb),
+            4 => nl.xor(fa, fb),
+            5 => nl.nand(fa, fb),
+            6 => nl.nor(fa, fb),
+            7 => nl.xnor(fa, fb),
+            8 => nl.const0(),
+            _ => nl.const1(),
+        };
+        signals.push(s);
+    }
+    let gate_signals: Vec<Signal> = signals[case.inputs.len()..].to_vec();
+    nl.set_outputs(if gate_signals.is_empty() {
+        ins
+    } else {
+        gate_signals
+    });
+    let tern = case
+        .inputs
+        .iter()
+        .map(|&v| match v {
+            0 => Ternary::Zero,
+            1 => Ternary::One,
+            _ => Ternary::X,
+        })
+        .collect();
+    (nl, tern)
+}
+
+/// Every output the abstract interpreter proves 0 or 1 must take exactly
+/// that value under every concretization of the X inputs.
+fn ternary_is_sound(case: &RandomLogic) -> bool {
+    let (nl, tern) = build(case);
+    let values = ternary_eval(&nl, &tern);
+    let x_positions: Vec<usize> = tern
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v == Ternary::X)
+        .map(|(i, _)| i)
+        .collect();
+    for mask in 0u32..(1 << x_positions.len()) {
+        let mut concrete: Vec<bool> = tern.iter().map(|&v| v == Ternary::One).collect();
+        for (bit, &pos) in x_positions.iter().enumerate() {
+            concrete[pos] = (mask >> bit) & 1 == 1;
+        }
+        let outs = simulate_bools(&nl, &concrete);
+        for (o, &sig) in nl.outputs().iter().enumerate() {
+            let agrees = match values[sig.index()] {
+                Ternary::Zero => !outs[o],
+                Ternary::One => outs[o],
+                Ternary::X => true,
+            };
+            if !agrees {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn shrink_logic(case: &RandomLogic) -> Vec<RandomLogic> {
+    let mut out = Vec::new();
+    for i in 0..case.gates.len() {
+        let mut c = case.clone();
+        c.gates.remove(i);
+        out.push(c);
+    }
+    if case.inputs.len() > 1 {
+        let mut c = case.clone();
+        c.inputs.pop();
+        out.push(c);
+    }
+    for i in 0..case.inputs.len() {
+        if case.inputs[i] == 2 {
+            let mut c = case.clone();
+            c.inputs[i] = 0;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn ternary_propagation_is_sound_under_every_concretization() {
+    forall_with(
+        "ternary 0/1/X propagation is sound vs the word-parallel simulator",
+        0x7e4a17,
+        200,
+        |rng, _case| RandomLogic {
+            inputs: (0..1 + rng.index(5)).map(|_| rng.index(3) as u8).collect(),
+            gates: (0..rng.index(13))
+                .map(|_| {
+                    (
+                        rng.next_u32() as u8,
+                        rng.next_u32() as u8,
+                        rng.next_u32() as u8,
+                    )
+                })
+                .collect(),
+        },
+        shrink_logic,
+        ternary_is_sound,
+    );
+}
+
+/// A 4-bit multiplier with a sequence of ALS-style local rewrites applied:
+/// each mutation picks a live physical gate (by index modulo the current
+/// fault-site list) and either ties it to a constant or forwards its first
+/// fanin.
+#[derive(Debug, Clone, PartialEq)]
+struct MutatedDesign {
+    wallace: bool,
+    mutations: Vec<(u32, u8)>,
+}
+
+fn build_mutated(case: &MutatedDesign) -> Netlist {
+    let circuit = if case.wallace {
+        MultiplierCircuit::wallace(4)
+    } else {
+        MultiplierCircuit::array(4)
+    };
+    let mut nl = circuit.netlist().clone();
+    for &(site, action) in &case.mutations {
+        let sites = fault_sites(&nl);
+        if sites.is_empty() {
+            break;
+        }
+        let target = sites[site as usize % sites.len()];
+        match action % 3 {
+            0 => {
+                let _ = nl.replace_with_const(target, false);
+            }
+            1 => {
+                let _ = nl.replace_with_const(target, true);
+            }
+            _ => {
+                let fanin = nl.gate(target).fanins[0];
+                let _ = nl.replace_with_signal(target, fanin);
+            }
+        }
+    }
+    nl
+}
+
+/// STA stays bit-identical to the cost model and self-consistent (chain
+/// connected, per-gate delays summing to the reported delay) no matter how
+/// the netlist was mutated.
+fn sta_agrees_with_cost_model(case: &MutatedDesign) -> bool {
+    let nl = build_mutated(case);
+    let model = CostModel::asap7();
+    let ctx = AnalysisContext::new(&nl);
+    let report = sta(&ctx, &model);
+    report.delay_ps.to_bits() == model.estimate_netlist(&nl).delay_ps.to_bits()
+        && report.consistency_diagnostics(&model, &nl).is_empty()
+}
+
+fn shrink_mutations(case: &MutatedDesign) -> Vec<MutatedDesign> {
+    let mut out = Vec::new();
+    for i in 0..case.mutations.len() {
+        let mut c = case.clone();
+        c.mutations.remove(i);
+        out.push(c);
+    }
+    if case.wallace {
+        let mut c = case.clone();
+        c.wallace = false;
+        out.push(c);
+    }
+    out
+}
+
+#[test]
+fn sta_is_bit_identical_to_the_cost_model_on_mutated_netlists() {
+    forall_with(
+        "STA delay equals CostModel::estimate_netlist on ALS-mutated netlists",
+        0x57acafe,
+        64,
+        |rng, case| MutatedDesign {
+            wallace: case % 2 == 1,
+            mutations: (0..rng.index(8))
+                .map(|_| (rng.next_u32(), rng.next_u32() as u8))
+                .collect(),
+        },
+        shrink_mutations,
+        sta_agrees_with_cost_model,
+    );
+}

@@ -1,0 +1,90 @@
+//! Golden regression tests for the static-analysis framework.
+//!
+//! Pins the known critical path of the calibration design — the 8-bit
+//! array multiplier whose delay defines the 730.1 ps Table I reference —
+//! and proves the stuck-at-1 negative control trips the
+//! constant-propagation lint.
+
+use appmult_circuit::{fault_sites, CostModel, MultiplierCircuit};
+use appmult_verify::{analyze_netlist, sta, AnalysisContext};
+
+#[test]
+fn array8_critical_path_is_pinned() {
+    let circuit = MultiplierCircuit::array(8);
+    let model = CostModel::asap7();
+    let ctx = AnalysisContext::new(circuit.netlist());
+    let report = sta(&ctx, &model);
+
+    // The calibration contract: array(8) *defines* the 730.1 ps scale.
+    assert!(
+        (report.delay_ps - 730.1).abs() < 1e-9,
+        "delay {} ps",
+        report.delay_ps
+    );
+    assert_eq!(
+        report.delay_ps.to_bits(),
+        model.estimate(&circuit).delay_ps.to_bits()
+    );
+
+    // Known critical path: one input followed by 111 logic levels through
+    // the ripple-carry spine (xor-heavy with and/or carry links).
+    assert_eq!(report.critical_path.len(), 112);
+    assert_eq!(ctx.depth(), 111);
+    let first = report.critical_path.first().unwrap();
+    assert_eq!(first.kind.arity(), 0, "path starts at a primary input");
+    let last = report.critical_path.last().unwrap();
+    assert_eq!(Some(last.signal), report.critical_output);
+
+    // The chain is connected and its per-gate delays sum to the total.
+    assert!(report
+        .consistency_diagnostics(&model, circuit.netlist())
+        .is_empty());
+    let sum: f64 = report.critical_path.iter().map(|g| g.delay_ps).sum();
+    assert!((sum - report.delay_ps).abs() < 1e-9 * report.delay_ps);
+
+    // Every gate on the path has zero slack.
+    for g in &report.critical_path {
+        assert!(
+            report.slack_ps[g.signal.index()].abs() < 1e-9,
+            "{}",
+            g.signal
+        );
+    }
+}
+
+#[test]
+fn stuck_at_one_control_trips_constant_propagation() {
+    let base = MultiplierCircuit::array(8);
+    let model = CostModel::asap7();
+
+    // The clean design has no constant cones or stuck outputs.
+    let clean = analyze_netlist(base.netlist(), &model);
+    assert!(clean.ternary.const_gates.is_empty());
+    assert!(clean.ternary.stuck_outputs.is_empty());
+    assert!(
+        clean
+            .diagnostics
+            .iter()
+            .all(|d| d.pass != "ternary-const" && d.pass != "stuck-output"),
+        "{:?}",
+        clean.diagnostics
+    );
+
+    // Tie the first live physical gate to 1: the ternary pass must see it.
+    let site = fault_sites(base.netlist())[0];
+    let mut faulted = base.netlist().clone();
+    faulted.replace_with_const(site, true).unwrap();
+    let analysis = analyze_netlist(&faulted, &model);
+    assert!(
+        !analysis.ternary.const_gates.is_empty() || !analysis.ternary.stuck_outputs.is_empty(),
+        "the injected constant is invisible to constant propagation"
+    );
+    assert!(
+        analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == "ternary-const" || d.pass == "stuck-output"),
+        "{:?}",
+        analysis.diagnostics
+    );
+}

@@ -1,0 +1,136 @@
+//! Schema lock for the `results/ANALYZE.json` static-analysis report
+//! (`appmult-analyze/v1`): every gate-level design must carry the full
+//! record — calibrated cost, depth, liveness, strash/ternary counts, STA
+//! agreement, the slack histogram, and a nonempty critical path.
+
+/// Minimal line-oriented parse of one design block of the
+/// `appmult-analyze/v1` schema.
+#[derive(Debug, Default, Clone)]
+struct AnalysisRecord {
+    name: String,
+    kind: String,
+    delay_ps: f64,
+    area_um2: f64,
+    depth: u32,
+    live_gates: u32,
+    duplicate_gates: u32,
+    sta_matches: bool,
+    histogram_entries: u32,
+    path_gates: u32,
+}
+
+fn field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let prefix = format!("\"{key}\": ");
+    let rest = line.trim().strip_prefix(&prefix)?;
+    Some(rest.trim_end_matches(','))
+}
+
+fn parse_records(json: &str) -> Vec<AnalysisRecord> {
+    let mut records = Vec::new();
+    let mut current: Option<AnalysisRecord> = None;
+    for line in json.lines() {
+        if let Some(v) = field(line, "name") {
+            if let Some(done) = current.take() {
+                records.push(done);
+            }
+            current = Some(AnalysisRecord {
+                name: v.trim_matches('"').to_string(),
+                ..AnalysisRecord::default()
+            });
+        }
+        let Some(r) = current.as_mut() else { continue };
+        if let Some(v) = field(line, "kind") {
+            r.kind = v.trim_matches('"').to_string();
+        }
+        if let Some(v) = field(line, "delay_ps") {
+            r.delay_ps = v.parse().expect("delay_ps is a number");
+        }
+        if let Some(v) = field(line, "area_um2") {
+            r.area_um2 = v.parse().expect("area_um2 is a number");
+        }
+        if let Some(v) = field(line, "depth") {
+            r.depth = v.parse().expect("depth is an integer");
+        }
+        if let Some(v) = field(line, "live_gates") {
+            r.live_gates = v.parse().expect("live_gates is an integer");
+        }
+        if let Some(v) = field(line, "duplicate_gates") {
+            r.duplicate_gates = v.parse().expect("duplicate_gates is an integer");
+        }
+        if let Some(v) = field(line, "sta_matches_cost_model") {
+            r.sta_matches = v == "true";
+        }
+        if let Some(v) = field(line, "slack_histogram") {
+            r.histogram_entries = v
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .split(", ")
+                .filter(|s| !s.is_empty())
+                .count() as u32;
+        }
+        // Critical-path entries are inline objects with a "signal" key.
+        if line.trim_start().starts_with("{\"signal\":") {
+            r.path_gates += 1;
+        }
+    }
+    records.extend(current);
+    records
+}
+
+#[test]
+fn analyze_report_meets_the_schema_contract() {
+    // As in lint_zoo.rs, debug runs skip the synthesis-heavy `_syn`
+    // entries; the release CI sweep covers them.
+    let include_syn = !cfg!(debug_assertions);
+    let report = appmult_verify::lint_zoo_filtered(include_syn);
+    let json = report.analysis_json();
+
+    // Persist the same artefact the appmult-lint binary writes, so the
+    // assertions below genuinely go through the serialized report.
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/ANALYZE.json", &json).expect("write ANALYZE.json");
+    let json = std::fs::read_to_string("results/ANALYZE.json").expect("read ANALYZE.json");
+
+    assert!(json.contains("\"schema\": \"appmult-analyze/v1\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    let records = parse_records(&json);
+    // Every zoo design with a netlist plus the stuck-at and sampled
+    // controls; the corrupted-LUT control is LUT-only and omitted.
+    assert!(records.len() >= 10, "only {} records", records.len());
+    let known = report
+        .designs
+        .iter()
+        .filter(|d| d.analysis.is_some())
+        .count();
+    assert_eq!(records.len(), known);
+
+    for r in &records {
+        assert!(!r.kind.is_empty(), "{r:?}");
+        assert!(r.delay_ps > 0.0, "{r:?}");
+        assert!(r.area_um2 > 0.0, "{r:?}");
+        assert!(r.depth > 0, "{r:?}");
+        assert!(r.live_gates > 0, "{r:?}");
+        assert!(r.sta_matches, "STA must match the cost model: {r:?}");
+        assert_eq!(r.histogram_entries, 8, "{r:?}");
+        assert!(r.path_gates > 0, "{r:?}");
+        // The levelized depth bounds the critical path (which adds the
+        // level-0 starting input to the chain).
+        assert!(r.path_gates <= r.depth + 1, "{r:?}");
+    }
+
+    // The calibration design pins the Table I reference delay.
+    let cal = records
+        .iter()
+        .find(|r| r.name == "mul8u_acc")
+        .expect("calibration design present");
+    assert!((cal.delay_ps - 730.1).abs() < 1e-6, "{cal:?}");
+    assert_eq!(cal.depth, 111);
+    assert_eq!(cal.path_gates, 112);
+
+    // Generated multipliers carry no duplicate logic.
+    for r in records.iter().filter(|r| r.kind == "exact") {
+        assert_eq!(r.duplicate_gates, 0, "{r:?}");
+    }
+}

@@ -4,7 +4,7 @@
 //! the machine-readable `results/LINT.json` report.
 
 /// Minimal line-oriented parse of one design block of the
-/// `appmult-lint/v1` schema.
+/// `appmult-lint/v2` schema.
 #[derive(Debug, Default, Clone)]
 struct DesignRecord {
     name: String,
@@ -76,7 +76,14 @@ fn zoo_lint_report_meets_the_acceptance_criteria() {
     std::fs::write("results/LINT.json", &json).expect("write LINT.json");
     let json = std::fs::read_to_string("results/LINT.json").expect("read LINT.json");
 
-    assert!(json.contains("\"schema\": \"appmult-lint/v1\""));
+    assert!(json.contains("\"schema\": \"appmult-lint/v2\""));
+    // v2: gate-level designs carry the static-analysis summary, and STA
+    // agrees bitwise with the cost model on every one of them.
+    assert!(json.contains("\"sta_matches_cost_model\": true"));
+    assert!(
+        !json.contains("\"sta_matches_cost_model\": false"),
+        "STA disagreed with the cost model on some design"
+    );
     // No design may carry an error diagnostic.
     assert!(
         !json.contains("\"severity\": \"error\""),
