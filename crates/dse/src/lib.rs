@@ -1,0 +1,56 @@
+//! Closed-loop design-space exploration over approximate multipliers.
+//!
+//! The paper retrains DNNs against a *fixed* zoo of approximate
+//! multipliers; this crate turns the repo's evaluation machinery into a
+//! *search*: a seeded μ+λ evolutionary loop that mutates multiplier
+//! netlists ([`Mutation`], generalizing the ALS rewrites), validates every
+//! candidate with the `appmult-verify` analysis oracle (invalid candidates
+//! are discarded and counted), and scores survivors on a three-axis
+//! objective:
+//!
+//! 1. **hardware** — delay/area/power from the shared STA, normalized to
+//!    the exact array multiplier of the same width,
+//! 2. **error** — NMED plus normalized MaxED under profiled per-operand
+//!    input distributions ([`ErrorMetrics::with_marginals`]),
+//! 3. **gradient proxy** — how faithfully the difference-based gradient of
+//!    the candidate (at its best HWS) reproduces the exact product's
+//!    slopes, a fast stand-in for retrained accuracy.
+//!
+//! Selection is Pareto (non-dominated sorting with crowding distance). The
+//! population evaluates in parallel across `appmult-pool`, but every
+//! candidate owns a private RNG stream seeded by `seed ^ candidate id`, so
+//! the thread count never changes the result — the frontier is
+//! byte-identical at `APPMULT_THREADS=1` and `=8`.
+//!
+//! # Example
+//!
+//! ```
+//! use appmult_circuit::MultiplierCircuit;
+//! use appmult_dse::{DseConfig, run};
+//! use appmult_pool::Pool;
+//!
+//! let cfg = DseConfig::smoke(4, 7);
+//! let seeds = vec![
+//!     MultiplierCircuit::array(4).netlist().clone(),
+//!     MultiplierCircuit::with_removed_columns(4, 2, Default::default())
+//!         .netlist()
+//!         .clone(),
+//! ];
+//! let result = run(&cfg, &seeds, &Pool::serial());
+//! assert!(!result.frontier.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod mutation;
+mod report;
+mod search;
+
+pub use eval::{
+    default_marginals, evaluate_netlist, DseConfig, Evaluation, Objective, Reject, RungFn,
+};
+pub use mutation::Mutation;
+pub use report::{dse_json, frontier_json, DSE_SCHEMA_VERSION};
+pub use search::{dominates, pareto_front, run, Candidate, DseResult, GenerationStats};

@@ -1,0 +1,387 @@
+//! Netlist mutation operators for the evolutionary search.
+//!
+//! [`Mutation`] generalizes the two ALS rewrites ([`AlsRewrite`]) with two
+//! structural moves the greedy synthesizer never takes: swapping a gate's
+//! boolean function in place and rewiring a single fanin. All four
+//! operators preserve the primary input/output interface, so a mutated
+//! multiplier stays a `2B`-in/`2B`-out netlist and remains exhaustively
+//! simulable.
+
+use appmult_circuit::{AlsRewrite, GateKind, Netlist, NetlistError, Signal};
+use appmult_rng::Rng64;
+
+/// One structural edit of a multiplier netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Swap a gate's function for another of the same arity (e.g.
+    /// `And → Xor`, `Not → Buf`, `Const0 → Const1`), keeping its fanins.
+    SubstituteKind {
+        /// The gate whose function changes.
+        gate: Signal,
+        /// Its new kind (must match the old arity).
+        kind: GateKind,
+    },
+    /// Redirect one fanin slot of a gate to a different existing signal.
+    RewireFanin {
+        /// The gate being rewired.
+        gate: Signal,
+        /// Which fanin slot (`0..arity`).
+        slot: usize,
+        /// The signal now feeding that slot.
+        with: Signal,
+    },
+    /// Tie a gate's output to a constant (the ALS `Constant` rewrite);
+    /// its fanin cone may become dead.
+    ConstTie {
+        /// The gate tied off.
+        gate: Signal,
+        /// The constant it now drives.
+        value: bool,
+    },
+    /// Replace a gate's output with another signal (the ALS `Substitute`
+    /// rewrite), deleting the gate's exclusive fanin cone from the live
+    /// logic.
+    DeleteCone {
+        /// The gate whose cone dies.
+        gate: Signal,
+        /// The signal that takes over its fanout.
+        with: Signal,
+    },
+}
+
+impl From<AlsRewrite> for Mutation {
+    fn from(rewrite: AlsRewrite) -> Self {
+        match rewrite {
+            AlsRewrite::Constant { gate, value } => Mutation::ConstTie { gate, value },
+            AlsRewrite::Substitute { gate, with } => Mutation::DeleteCone { gate, with },
+        }
+    }
+}
+
+impl Mutation {
+    /// Short operator name, used for obs counters and frontier lineage.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Mutation::SubstituteKind { .. } => "substitute_kind",
+            Mutation::RewireFanin { .. } => "rewire_fanin",
+            Mutation::ConstTie { .. } => "const_tie",
+            Mutation::DeleteCone { .. } => "delete_cone",
+        }
+    }
+
+    /// Compact human-readable description (recorded in frontier lineage).
+    pub fn describe(&self) -> String {
+        match self {
+            Mutation::SubstituteKind { gate, kind } => {
+                format!("substitute_kind(n{}={kind})", gate.index())
+            }
+            Mutation::RewireFanin { gate, slot, with } => {
+                format!("rewire_fanin(n{}.{slot}=n{})", gate.index(), with.index())
+            }
+            Mutation::ConstTie { gate, value } => {
+                format!("const_tie(n{}={})", gate.index(), u8::from(*value))
+            }
+            Mutation::DeleteCone { gate, with } => {
+                format!("delete_cone(n{}=n{})", gate.index(), with.index())
+            }
+        }
+    }
+
+    /// Applies the edit to `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`NetlistError`] of the underlying netlist editor —
+    /// e.g. an arity-mismatched kind swap, a rewrite of a primary input, or
+    /// a cycle-creating substitution. The search treats a failed apply as
+    /// an invalid candidate (discarded and counted), same as an oracle
+    /// rejection.
+    pub fn apply(&self, netlist: &mut Netlist) -> Result<(), NetlistError> {
+        match *self {
+            Mutation::SubstituteKind { gate, kind } => netlist.set_kind(gate, kind),
+            Mutation::RewireFanin { gate, slot, with } => netlist.set_fanin(gate, slot, with),
+            Mutation::ConstTie { gate, value } => netlist.replace_with_const(gate, value),
+            Mutation::DeleteCone { gate, with } => netlist.replace_with_signal(gate, with),
+        }
+    }
+
+    /// Draws a random mutation for `netlist` from `rng`.
+    ///
+    /// Sampling is deterministic in the RNG stream and structure-safe by
+    /// construction: rewires and substitutions only ever pick replacement
+    /// signals with a *lower* node index than the edited gate, which can
+    /// never create a combinational cycle in an index-topological netlist.
+    /// (Invalid mutations can still be constructed manually; the analysis
+    /// oracle rejects them.)
+    ///
+    /// Returns `None` when the netlist has no editable gate (inputs only).
+    pub fn sample(netlist: &Netlist, rng: &mut Rng64) -> Option<Mutation> {
+        let editable: Vec<Signal> = netlist
+            .iter()
+            .filter(|(_, g)| g.kind != GateKind::Input)
+            .map(|(s, _)| s)
+            .collect();
+        if editable.is_empty() {
+            return None;
+        }
+        // A handful of retries lets a draw that lands on an inapplicable
+        // (gate, operator) pair — e.g. a rewire of a constant — fall
+        // through to another; the loop count is fixed so the RNG stream
+        // consumption stays deterministic per draw sequence.
+        for _ in 0..8 {
+            let gate = editable[rng.index(editable.len())];
+            let kind = netlist.gate(gate).kind;
+            match rng.index(4) {
+                0 => {
+                    let to = match kind.arity() {
+                        0 => match kind {
+                            GateKind::Const0 => GateKind::Const1,
+                            _ => GateKind::Const0,
+                        },
+                        1 => match kind {
+                            GateKind::Not => GateKind::Buf,
+                            _ => GateKind::Not,
+                        },
+                        _ => {
+                            const BINARY: [GateKind; 6] = [
+                                GateKind::And,
+                                GateKind::Or,
+                                GateKind::Xor,
+                                GateKind::Nand,
+                                GateKind::Nor,
+                                GateKind::Xnor,
+                            ];
+                            BINARY[rng.index(BINARY.len())]
+                        }
+                    };
+                    if to == kind {
+                        continue;
+                    }
+                    return Some(Mutation::SubstituteKind { gate, kind: to });
+                }
+                1 => {
+                    let arity = kind.arity();
+                    if arity == 0 || gate.index() == 0 {
+                        continue;
+                    }
+                    let slot = rng.index(arity);
+                    let with = Signal::from_index(rng.index(gate.index()));
+                    return Some(Mutation::RewireFanin { gate, slot, with });
+                }
+                2 => {
+                    return Some(Mutation::ConstTie {
+                        gate,
+                        value: rng.chance(0.5),
+                    });
+                }
+                _ => {
+                    if gate.index() == 0 {
+                        continue;
+                    }
+                    let with = Signal::from_index(rng.index(gate.index()));
+                    if with == gate {
+                        continue;
+                    }
+                    return Some(Mutation::DeleteCone { gate, with });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_circuit::{ExhaustiveTable, MultiplierCircuit};
+
+    /// Output words (over all input combinations) that changed between two
+    /// same-shape netlists, as a per-node changed mask.
+    fn changed_nodes(before: &Netlist, after: &Netlist) -> Vec<bool> {
+        // Exhaustive tables only cover primary outputs, so compare the
+        // function of every node via single-output probes.
+        (0..before.num_nodes())
+            .map(|node| {
+                let probe = Signal::from_index(node);
+                let mut b = before.clone();
+                b.set_outputs(vec![probe]);
+                let mut a = after.clone();
+                a.set_outputs(vec![probe]);
+                ExhaustiveTable::build(&b).values() != ExhaustiveTable::build(&a).values()
+            })
+            .collect()
+    }
+
+    /// Transitive fanout (including the node itself) of `root` in `nl`.
+    fn fanout_cone(nl: &Netlist, root: Signal) -> Vec<bool> {
+        let lists = nl.fanout_lists();
+        let mut in_cone = vec![false; nl.num_nodes()];
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut in_cone[s.index()], true) {
+                continue;
+            }
+            for &f in &lists[s.index()] {
+                stack.push(f);
+            }
+        }
+        in_cone
+    }
+
+    fn assert_change_confined(before: &Netlist, after: &Netlist, root: Signal) {
+        let changed = changed_nodes(before, after);
+        let cone = fanout_cone(before, root);
+        for (node, was_changed) in changed.iter().enumerate() {
+            assert!(
+                !was_changed || cone[node],
+                "node n{node} changed outside the fanout cone of n{}",
+                root.index()
+            );
+        }
+    }
+
+    #[test]
+    fn substitute_kind_is_present_and_cone_confined() {
+        let base = MultiplierCircuit::array(3).netlist().clone();
+        // Find a 2-ary And gate to flip to Xor.
+        let (gate, _) = base
+            .iter()
+            .find(|(_, g)| g.kind == GateKind::And)
+            .expect("array multiplier has And gates");
+        let m = Mutation::SubstituteKind {
+            gate,
+            kind: GateKind::Xor,
+        };
+        let mut mutated = base.clone();
+        m.apply(&mut mutated).unwrap();
+        // Structurally present: the gate's kind changed, fanins intact.
+        assert_eq!(mutated.gate(gate).kind, GateKind::Xor);
+        assert_eq!(mutated.gate(gate).fanins, base.gate(gate).fanins);
+        assert_change_confined(&base, &mutated, gate);
+    }
+
+    #[test]
+    fn rewire_fanin_is_present_and_cone_confined() {
+        let base = MultiplierCircuit::array(3).netlist().clone();
+        let (gate, g) = base
+            .iter()
+            .filter(|(s, g)| g.kind.arity() == 2 && s.index() > 2)
+            .last()
+            .expect("has binary gates");
+        let with = Signal::from_index(0);
+        assert_ne!(g.fanins[1], with, "pick a genuinely different source");
+        let m = Mutation::RewireFanin {
+            gate,
+            slot: 1,
+            with,
+        };
+        let mut mutated = base.clone();
+        m.apply(&mut mutated).unwrap();
+        assert_eq!(mutated.gate(gate).fanins[1], with);
+        assert_eq!(mutated.gate(gate).fanins[0], base.gate(gate).fanins[0]);
+        assert_change_confined(&base, &mutated, gate);
+    }
+
+    #[test]
+    fn const_tie_is_present_and_cone_confined() {
+        let base = MultiplierCircuit::array(3).netlist().clone();
+        let gate = *base.outputs().first().expect("has outputs");
+        let m = Mutation::ConstTie { gate, value: true };
+        let mut mutated = base.clone();
+        m.apply(&mut mutated).unwrap();
+        assert_eq!(mutated.gate(gate).kind, GateKind::Const1);
+        assert_change_confined(&base, &mutated, gate);
+    }
+
+    #[test]
+    fn delete_cone_is_present_and_cone_confined() {
+        let base = MultiplierCircuit::array(3).netlist().clone();
+        let (gate, _) = base
+            .iter()
+            .filter(|(_, g)| g.kind.arity() == 2)
+            .last()
+            .expect("has binary gates");
+        let with = Signal::from_index(1);
+        let m = Mutation::DeleteCone { gate, with };
+        let mut mutated = base.clone();
+        m.apply(&mut mutated).unwrap();
+        assert_eq!(mutated.gate(gate).kind, GateKind::Buf);
+        assert_eq!(mutated.gate(gate).fanins[0], with);
+        assert_change_confined(&base, &mutated, gate);
+    }
+
+    #[test]
+    fn als_rewrites_convert_to_mutations() {
+        let g = Signal::from_index(9);
+        let w = Signal::from_index(4);
+        assert_eq!(
+            Mutation::from(AlsRewrite::Constant {
+                gate: g,
+                value: true
+            }),
+            Mutation::ConstTie {
+                gate: g,
+                value: true
+            }
+        );
+        assert_eq!(
+            Mutation::from(AlsRewrite::Substitute { gate: g, with: w }),
+            Mutation::DeleteCone { gate: g, with: w }
+        );
+    }
+
+    #[test]
+    fn sampled_mutations_apply_cleanly_and_deterministically() {
+        let base = MultiplierCircuit::array(4).netlist().clone();
+        let mut rng_a = Rng64::seed_from_u64(11);
+        let mut rng_b = Rng64::seed_from_u64(11);
+        for _ in 0..200 {
+            let ma = Mutation::sample(&base, &mut rng_a).expect("editable netlist");
+            let mb = Mutation::sample(&base, &mut rng_b).expect("editable netlist");
+            assert_eq!(ma, mb, "sampling must be a pure function of the stream");
+            let mut mutated = base.clone();
+            ma.apply(&mut mutated)
+                .unwrap_or_else(|e| panic!("sampled mutation {ma:?} failed: {e}"));
+            assert!(mutated.validate().is_ok(), "{ma:?} broke the netlist");
+        }
+    }
+
+    #[test]
+    fn invalid_mutations_are_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let g = nl.and(a, b);
+        let h = nl.or(g, a);
+        nl.set_outputs(vec![h]);
+        // Arity-mismatched kind swap fails at apply time.
+        assert!(Mutation::SubstituteKind {
+            gate: g,
+            kind: GateKind::Not
+        }
+        .apply(&mut nl.clone())
+        .is_err());
+        // Editing a primary input fails at apply time.
+        assert!(Mutation::ConstTie {
+            gate: a,
+            value: false
+        }
+        .apply(&mut nl.clone())
+        .is_err());
+        // A cycle-creating substitution fails at apply time.
+        assert!(Mutation::DeleteCone { gate: g, with: h }
+            .apply(&mut nl.clone())
+            .is_err());
+        // A cycle-creating *rewire* is allowed structurally (set_fanin
+        // permits forward references) but must be caught by validation —
+        // the analysis oracle path.
+        let m = Mutation::RewireFanin {
+            gate: g,
+            slot: 0,
+            with: h,
+        };
+        let mut cyclic = nl.clone();
+        m.apply(&mut cyclic).unwrap();
+        assert!(cyclic.validate().is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! `results/DSE.json` serialization (schema `appmult-dse/v1`).
+//!
+//! Hand-rolled line-oriented JSON like the rest of the workspace (the
+//! repo is zero-dependency). Every float is emitted twice: once as the
+//! shortest-round-trip decimal for humans, once as its IEEE-754 bit
+//! pattern (`*_bits` / `objective_bits`) so the determinism regression
+//! can compare frontiers bit-for-bit without parsing decimals.
+//!
+//! [`frontier_json`] deliberately excludes anything machine-dependent
+//! (thread count, kernel): two runs with the same config must produce
+//! byte-identical frontier files regardless of `APPMULT_THREADS`. The
+//! full [`dse_json`] adds the run environment in its config header.
+
+use crate::eval::{DseConfig, Objective};
+use crate::search::{Candidate, DseResult};
+
+/// Version tag in the `schema` field of `results/DSE.json`.
+pub const DSE_SCHEMA_VERSION: &str = "appmult-dse/v1";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn objective_fields(o: &Objective, indent: &str, out: &mut String) {
+    out.push_str(&format!(
+        "{indent}\"objective\": {{\"hw\": {}, \"err\": {}, \"proxy\": {}}},\n",
+        o.hw, o.err, o.proxy
+    ));
+    out.push_str(&format!(
+        "{indent}\"objective_bits\": [{}, {}, {}],\n",
+        o.hw.to_bits(),
+        o.err.to_bits(),
+        o.proxy.to_bits()
+    ));
+}
+
+fn frontier_entry(cfg: &DseConfig, c: &Candidate, out: &mut String) {
+    let e = &c.eval;
+    out.push_str("    {\n");
+    out.push_str(&format!(
+        "      \"name\": \"{}\",\n",
+        json_escape(&c.design_name(cfg.bits))
+    ));
+    out.push_str(&format!("      \"id\": {},\n", c.id));
+    match c.parent {
+        Some(p) => out.push_str(&format!("      \"parent\": {p},\n")),
+        None => out.push_str("      \"parent\": null,\n"),
+    }
+    out.push_str(&format!("      \"bits\": {},\n", cfg.bits));
+    let lineage: Vec<String> = c
+        .mutations
+        .iter()
+        .map(|m| format!("\"{}\"", json_escape(m)))
+        .collect();
+    out.push_str(&format!("      \"mutations\": [{}],\n", lineage.join(", ")));
+    objective_fields(&e.objective, "      ", out);
+    for (key, value) in [
+        ("delay_ps", e.cost.delay_ps),
+        ("area_um2", e.cost.area_um2),
+        ("power_uw", e.cost.power_uw),
+        ("nmed", e.metrics.nmed),
+        ("error_rate", e.metrics.error_rate),
+    ] {
+        out.push_str(&format!("      \"{key}\": {value},\n"));
+        out.push_str(&format!("      \"{key}_bits\": {},\n", value.to_bits()));
+    }
+    out.push_str(&format!("      \"max_ed\": {},\n", e.metrics.max_ed));
+    out.push_str(&format!("      \"hws\": {},\n", e.hws));
+    match c.rung {
+        Some(r) => out.push_str(&format!("      \"rung\": {r},\n")),
+        None => out.push_str("      \"rung\": null,\n"),
+    }
+    out.push_str(&format!("      \"depth\": {},\n", e.depth));
+    out.push_str(&format!("      \"live_gates\": {},\n", e.live_gates));
+    out.push_str("      \"critical_path\": [\n");
+    for (i, g) in e.critical_path.iter().enumerate() {
+        let comma = if i + 1 == e.critical_path.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "        {{\"signal\": \"n{}\", \"gate\": \"{}\", \"delay_ps\": {}, \"arrival_ps\": {}}}{comma}\n",
+            g.signal.index(),
+            g.kind,
+            g.delay_ps,
+            g.arrival_ps
+        ));
+    }
+    out.push_str("      ],\n");
+    out.push_str(&format!(
+        "      \"netlist\": \"{}\"\n",
+        json_escape(&appmult_circuit::to_netlist_text(&c.netlist))
+    ));
+    out.push_str("    }");
+}
+
+fn frontier_array(cfg: &DseConfig, result: &DseResult, out: &mut String) {
+    out.push_str("  \"frontier\": [\n");
+    for (i, c) in result.frontier.iter().enumerate() {
+        frontier_entry(cfg, c, out);
+        out.push_str(if i + 1 == result.frontier.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ]\n");
+}
+
+/// Frontier-only JSON: everything that must be **byte-identical** across
+/// thread counts for the same `(config, seeds)`.
+pub fn frontier_json(cfg: &DseConfig, result: &DseResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{DSE_SCHEMA_VERSION}\",\n"));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"bits\": {},\n", cfg.bits));
+    frontier_array(cfg, result, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// The full `results/DSE.json` document: config header (including the
+/// run environment), per-generation statistics, and the frontier.
+pub fn dse_json(cfg: &DseConfig, result: &DseResult, threads: usize, kernel: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{DSE_SCHEMA_VERSION}\",\n"));
+    out.push_str("  \"config\": {\n");
+    out.push_str(&format!("    \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("    \"bits\": {},\n", cfg.bits));
+    out.push_str(&format!("    \"mu\": {},\n", cfg.mu));
+    out.push_str(&format!("    \"lambda\": {},\n", cfg.lambda));
+    out.push_str(&format!("    \"generations\": {},\n", cfg.generations));
+    out.push_str(&format!("    \"max_mutations\": {},\n", cfg.max_mutations));
+    out.push_str(&format!("    \"rung\": {},\n", cfg.rung.is_some()));
+    out.push_str(&format!("    \"threads\": {threads},\n"));
+    out.push_str(&format!("    \"kernel\": \"{}\"\n", json_escape(kernel)));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"evaluated\": {},\n", result.evaluated));
+    out.push_str(&format!("  \"invalid\": {},\n", result.invalid));
+    out.push_str("  \"generations\": [\n");
+    for (i, s) in result.stats.iter().enumerate() {
+        let comma = if i + 1 == result.stats.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"generation\": {}, \"evaluated\": {}, \"invalid\": {}, \"frontier_size\": {}, \"best\": {{\"hw\": {}, \"err\": {}, \"proxy\": {}}}, \"best_bits\": [{}, {}, {}]}}{comma}\n",
+            s.generation,
+            s.evaluated,
+            s.invalid,
+            s.frontier_size,
+            s.best.hw,
+            s.best.err,
+            s.best.proxy,
+            s.best.hw.to_bits(),
+            s.best.err.to_bits(),
+            s.best.proxy.to_bits()
+        ));
+    }
+    out.push_str("  ],\n");
+    frontier_array(cfg, result, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::run;
+    use appmult_circuit::MultiplierCircuit;
+    use appmult_pool::Pool;
+
+    fn tiny_result() -> (DseConfig, DseResult) {
+        let mut cfg = DseConfig::smoke(3, 5);
+        cfg.mu = 4;
+        cfg.lambda = 6;
+        cfg.generations = 2;
+        let seeds = vec![MultiplierCircuit::array(3).netlist().clone()];
+        let result = run(&cfg, &seeds, &Pool::serial());
+        (cfg, result)
+    }
+
+    #[test]
+    fn json_documents_are_balanced_and_tagged() {
+        let (cfg, result) = tiny_result();
+        for doc in [
+            frontier_json(&cfg, &result),
+            dse_json(&cfg, &result, 1, "scalar"),
+        ] {
+            assert!(doc.contains(DSE_SCHEMA_VERSION));
+            let opens = doc.matches('{').count();
+            let closes = doc.matches('}').count();
+            assert_eq!(opens, closes, "unbalanced braces");
+            assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        }
+    }
+
+    #[test]
+    fn frontier_netlists_parse_back() {
+        let (cfg, result) = tiny_result();
+        let doc = frontier_json(&cfg, &result);
+        // The netlist text is embedded with \n escapes; the first member
+        // of the frontier must round-trip through the parser.
+        let needle = "\"netlist\": \"";
+        let start = doc.find(needle).expect("frontier has a netlist") + needle.len();
+        let end = start + doc[start..].find('"').unwrap();
+        let text = doc[start..end].replace("\\n", "\n");
+        let parsed = appmult_circuit::from_netlist_text(&text).expect("embedded netlist parses");
+        assert_eq!(parsed.num_inputs(), 2 * cfg.bits as usize);
+    }
+
+    #[test]
+    fn full_json_embeds_run_environment() {
+        let (cfg, result) = tiny_result();
+        let doc = dse_json(&cfg, &result, 8, "unrolled");
+        assert!(doc.contains("\"threads\": 8"));
+        assert!(doc.contains("\"kernel\": \"unrolled\""));
+        assert!(doc.contains("\"generations\": ["));
+        // The frontier serialization is shared with frontier_json.
+        let frontier = frontier_json(&cfg, &result);
+        let tail = &frontier[frontier.find("\"frontier\"").unwrap()..];
+        assert!(doc.contains(tail.trim_end_matches("}\n").trim_end()));
+    }
+}

@@ -1,0 +1,448 @@
+//! The seeded μ+λ evolutionary loop with Pareto-rank selection.
+//!
+//! # Determinism contract
+//!
+//! The search result is a pure function of `(DseConfig, seeds)`; the
+//! evaluation pool's thread count never changes it. Three rules enforce
+//! this:
+//!
+//! 1. every offspring derives its private RNG stream from
+//!    `seed ^ candidate_id`, and candidate ids are assigned by slot
+//!    position, not completion order;
+//! 2. mutation *and* evaluation happen inside the candidate's own
+//!    disjoint [`Pool::run_rows`] slot — workers share only read-only
+//!    state (the parent population, the config, the cost model);
+//! 3. selection, ranking, and tie-breaks run serially after the parallel
+//!    section, ordering candidates by id and comparing floats with
+//!    [`f64::total_cmp`].
+
+use std::cmp::Ordering;
+
+use appmult_circuit::{CostModel, Netlist};
+use appmult_pool::Pool;
+use appmult_rng::Rng64;
+
+use crate::eval::{build_lut, evaluate_netlist, DseConfig, Evaluation, Objective};
+use crate::mutation::Mutation;
+
+/// One evaluated design in the population.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Globally unique, slot-assigned id (seeds get `0..seeds.len()`).
+    pub id: u64,
+    /// Id of the parent it was mutated from (`None` for seeds).
+    pub parent: Option<u64>,
+    /// Human-readable lineage: the mutations applied to the parent.
+    pub mutations: Vec<String>,
+    /// The design itself.
+    pub netlist: Netlist,
+    /// Oracle + objective scores.
+    pub eval: Evaluation,
+    /// Mini-retrain rung score, filled for frontier members when the
+    /// config opts in (recorded only; never used for selection).
+    pub rung: Option<f64>,
+}
+
+impl Candidate {
+    /// Canonical design name, e.g. `dse6u_c42`.
+    pub fn design_name(&self, bits: u32) -> String {
+        format!("dse{bits}u_c{}", self.id)
+    }
+}
+
+/// Per-generation progress numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Candidates evaluated this generation (λ).
+    pub evaluated: usize,
+    /// Candidates discarded as invalid this generation.
+    pub invalid: usize,
+    /// Size of the non-dominated front after selection.
+    pub frontier_size: usize,
+    /// Per-axis minima over the surviving population.
+    pub best: Objective,
+}
+
+/// Outcome of one search run.
+#[derive(Debug)]
+pub struct DseResult {
+    /// The non-dominated front of the final population, ordered by id.
+    pub frontier: Vec<Candidate>,
+    /// Per-generation statistics.
+    pub stats: Vec<GenerationStats>,
+    /// Total candidates evaluated (seeds included).
+    pub evaluated: usize,
+    /// Total candidates discarded as invalid.
+    pub invalid: usize,
+}
+
+/// Pareto dominance on the minimized objective vector: `a` dominates `b`
+/// iff it is no worse on every axis and strictly better on at least one.
+/// Floats compare via [`f64::total_cmp`], so the relation is total even
+/// in the presence of NaN (which evaluation rejects anyway).
+pub fn dominates(a: &Objective, b: &Objective) -> bool {
+    let (a, b) = (a.as_array(), b.as_array());
+    let mut strictly = false;
+    for axis in 0..3 {
+        match a[axis].total_cmp(&b[axis]) {
+            Ordering::Greater => return false,
+            Ordering::Less => strictly = true,
+            Ordering::Equal => {}
+        }
+    }
+    strictly
+}
+
+/// Indices of the non-dominated members of `objs`, in input order.
+pub fn pareto_front(objs: &[Objective]) -> Vec<usize> {
+    (0..objs.len())
+        .filter(|&i| {
+            objs.iter()
+                .enumerate()
+                .all(|(j, other)| j == i || !dominates(other, &objs[i]))
+        })
+        .collect()
+}
+
+/// Peels the population into successive non-dominated fronts
+/// (NSGA-II-style fast non-dominated sort, O(n²) which is plenty for
+/// μ+λ-sized populations).
+fn non_dominated_fronts(objs: &[Objective]) -> Vec<Vec<usize>> {
+    let n = objs.len();
+    let mut dominated_by = vec![0usize; n];
+    let mut beats: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dominates(&objs[i], &objs[j]) {
+                beats[i].push(j);
+                dominated_by[j] += 1;
+            }
+        }
+    }
+    let mut fronts = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &beats[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of each member of `front` (parallel to `front`):
+/// boundary designs on any axis get ∞, interior designs the sum of
+/// normalized neighbor gaps.
+fn crowding_distances(front: &[usize], objs: &[Objective]) -> Vec<f64> {
+    let m = front.len();
+    let mut distance = vec![0.0f64; m];
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    for axis in 0..3 {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            objs[front[a]].as_array()[axis]
+                .total_cmp(&objs[front[b]].as_array()[axis])
+                .then(front[a].cmp(&front[b]))
+        });
+        let lo = objs[front[order[0]]].as_array()[axis];
+        let hi = objs[front[order[m - 1]]].as_array()[axis];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let prev = objs[front[order[w - 1]]].as_array()[axis];
+            let next = objs[front[order[w + 1]]].as_array()[axis];
+            distance[order[w]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+/// μ-selection: fill whole fronts in rank order; break the cut front by
+/// crowding distance (descending), then id (ascending). The surviving
+/// population is returned in id order — the canonical ordering every
+/// deterministic downstream step relies on.
+fn select(mut population: Vec<Candidate>, mu: usize) -> Vec<Candidate> {
+    if population.len() <= mu {
+        population.sort_by_key(|c| c.id);
+        return population;
+    }
+    let objs: Vec<Objective> = population.iter().map(|c| c.eval.objective).collect();
+    let fronts = non_dominated_fronts(&objs);
+    let mut keep = vec![false; population.len()];
+    let mut kept = 0usize;
+    for front in fronts {
+        if kept + front.len() <= mu {
+            for &i in &front {
+                keep[i] = true;
+            }
+            kept += front.len();
+            if kept == mu {
+                break;
+            }
+        } else {
+            let crowd = crowding_distances(&front, &objs);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                crowd[b]
+                    .total_cmp(&crowd[a])
+                    .then(population[front[a]].id.cmp(&population[front[b]].id))
+            });
+            for &w in order.iter().take(mu - kept) {
+                keep[front[w]] = true;
+            }
+            break;
+        }
+    }
+    let mut survivors: Vec<Candidate> = population
+        .drain(..)
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect();
+    survivors.sort_by_key(|c| c.id);
+    survivors
+}
+
+fn axis_minima(population: &[Candidate]) -> Objective {
+    let fold = |f: fn(&Objective) -> f64| {
+        population
+            .iter()
+            .map(|c| f(&c.eval.objective))
+            .fold(f64::INFINITY, f64::min)
+    };
+    Objective {
+        hw: fold(|o| o.hw),
+        err: fold(|o| o.err),
+        proxy: fold(|o| o.proxy),
+    }
+}
+
+/// Runs the seeded evolutionary search.
+///
+/// `seeds` are evaluated first (ids `0..seeds.len()`); invalid seeds are
+/// discarded and counted like any other candidate. Each generation draws
+/// λ offspring — parent choice, mutation count, and the mutations
+/// themselves all come from the offspring's private RNG stream — then
+/// keeps the best μ by Pareto rank.
+///
+/// # Panics
+///
+/// Panics if no seed survives evaluation: a search with an empty
+/// population has no meaningful result.
+pub fn run(cfg: &DseConfig, seeds: &[Netlist], pool: &Pool) -> DseResult {
+    let obs = appmult_obs::global();
+    let _span = obs.span("dse.run");
+    let model = CostModel::asap7();
+    let mut evaluated = 0usize;
+    let mut invalid = 0usize;
+
+    // Seed evaluation: one disjoint slot per seed.
+    let mut slots: Vec<Option<Candidate>> = seeds.iter().map(|_| None).collect();
+    pool.run_rows(&mut slots, 1, |first, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let i = first + k;
+            if let Ok(eval) = evaluate_netlist(&seeds[i], cfg, &model) {
+                *slot = Some(Candidate {
+                    id: i as u64,
+                    parent: None,
+                    mutations: Vec::new(),
+                    netlist: seeds[i].clone(),
+                    eval,
+                    rung: None,
+                });
+            }
+        }
+    });
+    evaluated += seeds.len();
+    let mut population: Vec<Candidate> = slots.into_iter().flatten().collect();
+    invalid += seeds.len() - population.len();
+    obs.counter_add("dse.candidate.evaluated", seeds.len() as u64);
+    obs.counter_add(
+        "dse.candidate.invalid",
+        (seeds.len() - population.len()) as u64,
+    );
+    assert!(
+        !population.is_empty(),
+        "design-space exploration needs at least one valid seed"
+    );
+
+    let mut next_id = seeds.len() as u64;
+    let mut stats = Vec::with_capacity(cfg.generations);
+    for generation in 0..cfg.generations {
+        let _gen_span = obs.span("dse.generation");
+        let base_id = next_id;
+        let parents = &population;
+        let mut offspring: Vec<Option<Candidate>> = (0..cfg.lambda).map(|_| None).collect();
+        pool.run_rows(&mut offspring, 1, |first, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let id = base_id + (first + k) as u64;
+                let mut rng = Rng64::seed_from_u64(cfg.seed ^ id);
+                let parent = &parents[rng.index(parents.len())];
+                let mut netlist = parent.netlist.clone();
+                let count = 1 + rng.index(cfg.max_mutations.max(1));
+                let mut applied = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let Some(m) = Mutation::sample(&netlist, &mut rng) else {
+                        applied.clear();
+                        break;
+                    };
+                    if m.apply(&mut netlist).is_err() {
+                        applied.clear();
+                        break;
+                    }
+                    applied.push(m.describe());
+                }
+                if applied.is_empty() {
+                    continue;
+                }
+                if let Ok(eval) = evaluate_netlist(&netlist, cfg, &model) {
+                    *slot = Some(Candidate {
+                        id,
+                        parent: Some(parent.id),
+                        mutations: applied,
+                        netlist,
+                        eval,
+                        rung: None,
+                    });
+                }
+            }
+        });
+        next_id += cfg.lambda as u64;
+        evaluated += cfg.lambda;
+        let valid: Vec<Candidate> = offspring.into_iter().flatten().collect();
+        let gen_invalid = cfg.lambda - valid.len();
+        invalid += gen_invalid;
+        obs.counter_add("dse.candidate.evaluated", cfg.lambda as u64);
+        obs.counter_add("dse.candidate.invalid", gen_invalid as u64);
+
+        population.extend(valid);
+        population = select(population, cfg.mu);
+        let objs: Vec<Objective> = population.iter().map(|c| c.eval.objective).collect();
+        let frontier_size = pareto_front(&objs).len();
+        obs.gauge_set("dse.frontier.size", frontier_size as f64);
+        stats.push(GenerationStats {
+            generation,
+            evaluated: cfg.lambda,
+            invalid: gen_invalid,
+            frontier_size,
+            best: axis_minima(&population),
+        });
+    }
+
+    let objs: Vec<Objective> = population.iter().map(|c| c.eval.objective).collect();
+    let front = pareto_front(&objs);
+    let mut frontier: Vec<Candidate> = {
+        let mut keep = vec![false; population.len()];
+        for &i in &front {
+            keep[i] = true;
+        }
+        population
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(c, k)| k.then_some(c))
+            .collect()
+    };
+    frontier.sort_by_key(|c| c.id);
+    if let Some(rung) = &cfg.rung {
+        let _rung_span = obs.span("dse.rung");
+        for candidate in &mut frontier {
+            let lut = build_lut(
+                &candidate.netlist,
+                cfg.bits,
+                &candidate.design_name(cfg.bits),
+            );
+            candidate.rung = Some(rung(&lut));
+        }
+    }
+    obs.event(
+        "dse.complete",
+        &[
+            ("frontier", appmult_obs::Value::U64(frontier.len() as u64)),
+            ("evaluated", appmult_obs::Value::U64(evaluated as u64)),
+            ("invalid", appmult_obs::Value::U64(invalid as u64)),
+        ],
+    );
+    DseResult {
+        frontier,
+        stats,
+        evaluated,
+        invalid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_circuit::{MultiplierCircuit, MultiplierStructure};
+
+    fn obj(hw: f64, err: f64, proxy: f64) -> Objective {
+        Objective { hw, err, proxy }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_directional() {
+        let a = obj(0.5, 0.1, 0.1);
+        let b = obj(0.6, 0.1, 0.1);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &a), "a point never dominates itself");
+        let c = obj(0.4, 0.2, 0.1);
+        assert!(!dominates(&a, &c) && !dominates(&c, &a), "trade-offs tie");
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_points() {
+        let objs = [
+            obj(1.0, 0.0, 0.0),
+            obj(0.5, 0.5, 0.5),
+            obj(0.6, 0.6, 0.6), // dominated by the previous point
+            obj(0.0, 1.0, 1.0),
+        ];
+        assert_eq!(pareto_front(&objs), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn fronts_peel_in_rank_order() {
+        let objs = [obj(0.1, 0.1, 0.1), obj(0.2, 0.2, 0.2), obj(0.3, 0.3, 0.3)];
+        let fronts = non_dominated_fronts(&objs);
+        assert_eq!(fronts, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn search_runs_and_frontier_is_mutually_non_dominated() {
+        let cfg = DseConfig::smoke(4, 3);
+        let seeds = vec![
+            MultiplierCircuit::array(4).netlist().clone(),
+            MultiplierCircuit::with_removed_columns(4, 2, MultiplierStructure::default())
+                .netlist()
+                .clone(),
+        ];
+        let result = run(&cfg, &seeds, &Pool::serial());
+        assert!(!result.frontier.is_empty());
+        assert!(result.evaluated >= seeds.len() + cfg.lambda * cfg.generations);
+        for a in &result.frontier {
+            for b in &result.frontier {
+                assert!(
+                    a.id == b.id || !dominates(&a.eval.objective, &b.eval.objective),
+                    "frontier member {} dominates {}",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Determinism regression: the search result — and the serialized
+//! frontier document — is a pure function of `(DseConfig, seeds)`. The
+//! evaluation pool's thread count must never change a single byte, and a
+//! different master seed must explore a different trajectory.
+
+use appmult_circuit::{MultiplierCircuit, MultiplierStructure};
+use appmult_dse::{frontier_json, run, DseConfig};
+use appmult_pool::Pool;
+
+fn small_config(seed: u64) -> DseConfig {
+    let mut cfg = DseConfig::smoke(4, seed);
+    cfg.mu = 6;
+    cfg.lambda = 12;
+    cfg.generations = 4;
+    cfg
+}
+
+fn seeds() -> Vec<appmult_circuit::Netlist> {
+    vec![
+        MultiplierCircuit::array(4).netlist().clone(),
+        MultiplierCircuit::with_removed_columns(4, 2, MultiplierStructure::default())
+            .netlist()
+            .clone(),
+    ]
+}
+
+#[test]
+fn frontier_document_is_byte_identical_across_thread_counts() {
+    let cfg = small_config(1);
+    let serial = run(&cfg, &seeds(), &Pool::new(1));
+    let parallel = run(&cfg, &seeds(), &Pool::new(8));
+
+    // Structural check first, so a mismatch names the diverging id
+    // instead of dumping two JSON documents.
+    let ids: Vec<u64> = serial.frontier.iter().map(|c| c.id).collect();
+    let par_ids: Vec<u64> = parallel.frontier.iter().map(|c| c.id).collect();
+    assert_eq!(ids, par_ids, "frontier membership diverged across pools");
+    for (a, b) in serial.frontier.iter().zip(&parallel.frontier) {
+        let (oa, ob) = (a.eval.objective.as_array(), b.eval.objective.as_array());
+        for axis in 0..3 {
+            assert_eq!(
+                oa[axis].to_bits(),
+                ob[axis].to_bits(),
+                "objective axis {axis} of candidate {} diverged",
+                a.id
+            );
+        }
+        assert_eq!(a.mutations, b.mutations, "lineage of {} diverged", a.id);
+    }
+    assert_eq!(serial.evaluated, parallel.evaluated);
+    assert_eq!(serial.invalid, parallel.invalid);
+
+    // The contract the CI smoke job enforces on the binary: the
+    // frontier-only document is byte-identical.
+    assert_eq!(frontier_json(&cfg, &serial), frontier_json(&cfg, &parallel));
+}
+
+#[test]
+fn different_seeds_explore_different_trajectories() {
+    let a = run(&small_config(1), &seeds(), &Pool::new(2));
+    let b = run(&small_config(2), &seeds(), &Pool::new(2));
+    assert_ne!(
+        frontier_json(&small_config(1), &a),
+        frontier_json(&small_config(2), &b),
+        "distinct master seeds must not reproduce the same frontier document"
+    );
+}

@@ -1,0 +1,125 @@
+//! Property tests (with shrinking) over whole search runs: whatever the
+//! master seed, every frontier member must pass the analysis oracle, its
+//! recorded NMED must be reproducible from its own netlist export, and
+//! the frontier must be mutually non-dominated.
+
+use appmult_circuit::{
+    from_netlist_text, to_netlist_text, CostModel, MultiplierCircuit, MultiplierStructure, Netlist,
+};
+use appmult_dse::{dominates, run, DseConfig, DseResult};
+use appmult_mult::{ErrorMetrics, MultiplierLut};
+use appmult_pool::Pool;
+use appmult_rng::{prop, Rng64};
+
+/// One generated search setup: master seed plus generation count.
+type Case = (u64, usize);
+
+fn generate(rng: &mut Rng64, _case: usize) -> Case {
+    (rng.next_u64() & 0xffff, 1 + rng.index(3))
+}
+
+/// Shrink toward the trivial search: halve the seed, drop generations.
+fn shrink(case: &Case) -> Vec<Case> {
+    let (seed, generations) = *case;
+    let mut smaller = Vec::new();
+    if seed > 0 {
+        smaller.push((seed / 2, generations));
+    }
+    if generations > 1 {
+        smaller.push((seed, generations - 1));
+    }
+    smaller
+}
+
+fn seeds() -> Vec<Netlist> {
+    vec![
+        MultiplierCircuit::array(4).netlist().clone(),
+        MultiplierCircuit::with_removed_columns(4, 2, MultiplierStructure::default())
+            .netlist()
+            .clone(),
+    ]
+}
+
+fn search(case: &Case) -> (DseConfig, DseResult) {
+    let (seed, generations) = *case;
+    let mut cfg = DseConfig::smoke(4, seed);
+    cfg.mu = 4;
+    cfg.lambda = 8;
+    cfg.generations = generations;
+    let result = run(&cfg, &seeds(), &Pool::new(2));
+    (cfg, result)
+}
+
+#[test]
+fn every_frontier_member_passes_the_analysis_oracle() {
+    prop::forall_with(
+        "frontier members are oracle-valid",
+        0xD5E_0001,
+        4,
+        generate,
+        shrink,
+        |case| {
+            let (_, result) = search(case);
+            let model = CostModel::asap7();
+            !result.frontier.is_empty()
+                && result
+                    .frontier
+                    .iter()
+                    .all(|c| appmult_verify::analyze_netlist(&c.netlist, &model).is_valid())
+        },
+    );
+}
+
+#[test]
+fn recorded_nmed_is_reproducible_from_the_netlist_export() {
+    prop::forall_with(
+        "frontier NMED matches recomputation from export",
+        0xD5E_0002,
+        4,
+        generate,
+        shrink,
+        |case| {
+            let (cfg, result) = search(case);
+            result.frontier.iter().all(|c| {
+                // Round-trip through the same serialization the report
+                // embeds, then rebuild the LUT from scratch.
+                let text = to_netlist_text(&c.netlist);
+                let Ok(netlist) = from_netlist_text(&text) else {
+                    return false;
+                };
+                let Ok(circuit) = MultiplierCircuit::from_netlist(netlist, cfg.bits) else {
+                    return false;
+                };
+                let products: Vec<u32> = circuit
+                    .exhaustive_products()
+                    .into_iter()
+                    .map(|p| p as u32)
+                    .collect();
+                let lut = MultiplierLut::from_entries("recheck", cfg.bits, products);
+                let metrics = ErrorMetrics::with_marginals(&lut, &cfg.w_probs, &cfg.x_probs);
+                metrics.nmed.to_bits() == c.eval.metrics.nmed.to_bits()
+                    && metrics.max_ed == c.eval.metrics.max_ed
+            })
+        },
+    );
+}
+
+#[test]
+fn no_frontier_member_dominates_another() {
+    prop::forall_with(
+        "frontier is mutually non-dominated",
+        0xD5E_0003,
+        4,
+        generate,
+        shrink,
+        |case| {
+            let (_, result) = search(case);
+            result.frontier.iter().all(|a| {
+                result
+                    .frontier
+                    .iter()
+                    .all(|b| a.id == b.id || !dominates(&a.eval.objective, &b.eval.objective))
+            })
+        },
+    );
+}

@@ -1,0 +1,156 @@
+//! Loading designs discovered by the `appmult-dse` search as first-class
+//! [`Multiplier`]s.
+//!
+//! The DSE frontier serializes each design in the `appmult-netlist v1`
+//! text format; [`DiscoveredMultiplier`] parses it back, wraps it in a
+//! [`MultiplierCircuit`] (so the hardware cost model and the verify lints
+//! see real gates), and precomputes the product LUT so `multiply` is an
+//! O(1) table lookup — exactly like the built-in zoo designs.
+
+use appmult_circuit::{
+    from_netlist_text, MultiplierCircuit, Netlist, NetlistError, NetlistParseError,
+};
+
+use crate::multiplier::Multiplier;
+
+/// A search-discovered multiplier reconstructed from its exported netlist.
+///
+/// # Example
+///
+/// ```
+/// use appmult_circuit::{to_netlist_text, MultiplierCircuit};
+/// use appmult_mult::{DiscoveredMultiplier, Multiplier};
+///
+/// let text = to_netlist_text(MultiplierCircuit::array(4).netlist());
+/// let m = DiscoveredMultiplier::from_netlist_text("dse4u_c0", 4, &text).unwrap();
+/// assert_eq!(m.multiply(7, 9), 63);
+/// assert!(m.circuit().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscoveredMultiplier {
+    name: String,
+    circuit: MultiplierCircuit,
+    products: Vec<u64>,
+}
+
+/// Why a discovered design could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveredError {
+    /// The netlist text did not parse.
+    Parse(NetlistParseError),
+    /// The netlist is valid but not a `2B`-in/`2B`-out multiplier.
+    Interface(NetlistError),
+}
+
+impl std::fmt::Display for DiscoveredError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoveredError::Parse(e) => write!(f, "netlist text: {e}"),
+            DiscoveredError::Interface(e) => write!(f, "multiplier interface: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveredError {}
+
+impl DiscoveredMultiplier {
+    /// Wraps an in-memory netlist as a named `bits`-bit multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`DiscoveredError::Interface`] if the netlist fails validation or
+    /// does not have the `2B`-in/`2B`-out multiplier bus layout.
+    pub fn from_netlist(
+        name: impl Into<String>,
+        bits: u32,
+        netlist: Netlist,
+    ) -> Result<Self, DiscoveredError> {
+        let circuit =
+            MultiplierCircuit::from_netlist(netlist, bits).map_err(DiscoveredError::Interface)?;
+        let products = circuit.exhaustive_products();
+        Ok(Self {
+            name: name.into(),
+            circuit,
+            products,
+        })
+    }
+
+    /// Parses an `appmult-netlist v1` export (the `netlist` field of a
+    /// `results/DSE.json` frontier entry) into a loadable multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`DiscoveredError::Parse`] for malformed text, or any
+    /// [`DiscoveredError::Interface`] error of [`Self::from_netlist`].
+    pub fn from_netlist_text(
+        name: impl Into<String>,
+        bits: u32,
+        text: &str,
+    ) -> Result<Self, DiscoveredError> {
+        let netlist = from_netlist_text(text).map_err(DiscoveredError::Parse)?;
+        Self::from_netlist(name, bits, netlist)
+    }
+}
+
+impl Multiplier for DiscoveredMultiplier {
+    fn bits(&self) -> u32 {
+        self.circuit.bits()
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn multiply(&self, w: u32, x: u32) -> u32 {
+        let b = self.circuit.bits();
+        assert!(
+            w < (1 << b) && x < (1 << b),
+            "operands must fit in {b} bits"
+        );
+        self.products[((w as usize) << b) | x as usize] as u32
+    }
+
+    fn circuit(&self) -> Option<MultiplierCircuit> {
+        Some(self.circuit.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appmult_circuit::to_netlist_text;
+
+    #[test]
+    fn round_trips_an_exact_design() {
+        let base = MultiplierCircuit::array(5);
+        let text = to_netlist_text(base.netlist());
+        let m = DiscoveredMultiplier::from_netlist_text("dse5u_c1", 5, &text).unwrap();
+        assert_eq!(m.bits(), 5);
+        assert_eq!(m.name(), "dse5u_c1");
+        for w in 0..32 {
+            for x in 0..32 {
+                assert_eq!(m.multiply(w, x), w * x);
+            }
+        }
+        // The reconstructed circuit costs identically to the original.
+        let model = appmult_circuit::CostModel::asap7();
+        assert_eq!(
+            model.estimate(&m.circuit().unwrap()).delay_ps.to_bits(),
+            model.estimate(&base).delay_ps.to_bits()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_and_mismatched_designs() {
+        assert!(matches!(
+            DiscoveredMultiplier::from_netlist_text("bad", 4, "garbage"),
+            Err(DiscoveredError::Parse(_))
+        ));
+        // Right text, wrong width.
+        let text = to_netlist_text(MultiplierCircuit::array(4).netlist());
+        assert!(matches!(
+            DiscoveredMultiplier::from_netlist_text("bad", 5, &text),
+            Err(DiscoveredError::Interface(_))
+        ));
+    }
+}

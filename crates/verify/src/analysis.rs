@@ -173,6 +173,19 @@ pub fn analyze_netlist(netlist: &Netlist, model: &CostModel) -> NetlistAnalysis 
         .iter()
         .all(|(_, g)| (0..g.kind.arity()).all(|k| g.fanins[k].index() < n))
         && netlist.outputs().iter().all(|s| s.index() < n);
+    if netlist.num_inputs() > 24 {
+        // The exhaustive simulator (and therefore NMED scoring) cannot
+        // evaluate such a candidate; make the capacity breach an error so
+        // `is_valid()` rejects it instead of silently zero-costing it.
+        diagnostics.push(Diagnostic::error(
+            "capacity",
+            "netlist",
+            format!(
+                "netlist has {} primary inputs; exhaustive analysis supports at most 24",
+                netlist.num_inputs()
+            ),
+        ));
+    }
     let cost = if in_range && netlist.num_inputs() <= 24 {
         model.estimate_netlist(netlist)
     } else {
@@ -236,6 +249,32 @@ mod tests {
         );
         assert!(analysis.cost.area_um2 > 0.0);
         assert!(!analysis.sta.critical_path.is_empty());
+    }
+
+    #[test]
+    fn analyze_netlist_rejects_over_capacity_input_counts() {
+        let mut nl = Netlist::new();
+        let inputs: Vec<_> = (0..25).map(|_| nl.input()).collect();
+        let mut acc = inputs[0];
+        for &i in &inputs[1..] {
+            acc = nl.and(acc, i);
+        }
+        nl.set_outputs(vec![acc]);
+        let analysis = analyze_netlist(&nl, &CostModel::asap7());
+        assert!(!analysis.is_valid());
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.pass == "capacity" && d.severity == crate::Severity::Error));
+        // A 24-input netlist is still within capacity.
+        let mut ok = Netlist::new();
+        let inputs: Vec<_> = (0..24).map(|_| ok.input()).collect();
+        let mut acc = inputs[0];
+        for &i in &inputs[1..] {
+            acc = ok.and(acc, i);
+        }
+        ok.set_outputs(vec![acc]);
+        assert!(analyze_netlist(&ok, &CostModel::asap7()).is_valid());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Schema lock for the `results/DSE.json` design-space-exploration
+//! report (`appmult-dse/v1`): the config header must carry the full run
+//! provenance (seed, threads, kernel), and every frontier entry must
+//! carry the complete record — objective bits, cost/error fields with
+//! their IEEE-754 twins, lineage, a nonempty critical path, and a
+//! re-parseable netlist export.
+
+/// Minimal line-oriented parse of one frontier entry of the
+/// `appmult-dse/v1` schema.
+#[derive(Debug, Default, Clone)]
+struct FrontierRecord {
+    name: String,
+    id: u64,
+    bits: u32,
+    has_objective: bool,
+    objective_bits: u32,
+    delay_ps: f64,
+    has_delay_bits: bool,
+    nmed: f64,
+    has_nmed_bits: bool,
+    hws: u32,
+    depth: u32,
+    live_gates: u32,
+    path_gates: u32,
+    netlist: String,
+}
+
+/// The machine-provenance header of the full document.
+#[derive(Debug, Default, Clone)]
+struct Header {
+    schema: String,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    kernel: Option<String>,
+}
+
+fn field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let prefix = format!("\"{key}\": ");
+    let rest = line.trim().strip_prefix(&prefix)?;
+    Some(rest.trim_end_matches(','))
+}
+
+fn parse(json: &str) -> (Header, Vec<FrontierRecord>) {
+    let mut header = Header::default();
+    let mut records: Vec<FrontierRecord> = Vec::new();
+    let mut current: Option<FrontierRecord> = None;
+    for line in json.lines() {
+        if let Some(v) = field(line, "name") {
+            records.extend(current.take());
+            current = Some(FrontierRecord {
+                name: v.trim_matches('"').to_string(),
+                ..FrontierRecord::default()
+            });
+        }
+        let Some(r) = current.as_mut() else {
+            // Still in the config header.
+            if let Some(v) = field(line, "schema") {
+                header.schema = v.trim_matches('"').to_string();
+            }
+            if let Some(v) = field(line, "seed") {
+                header.seed = v.parse().ok();
+            }
+            if let Some(v) = field(line, "threads") {
+                header.threads = v.parse().ok();
+            }
+            if let Some(v) = field(line, "kernel") {
+                header.kernel = Some(v.trim_matches('"').to_string());
+            }
+            continue;
+        };
+        if let Some(v) = field(line, "id") {
+            r.id = v.parse().expect("id is an integer");
+        }
+        if let Some(v) = field(line, "bits") {
+            r.bits = v.parse().expect("bits is an integer");
+        }
+        if field(line, "objective").is_some() {
+            r.has_objective = true;
+        }
+        if let Some(v) = field(line, "objective_bits") {
+            r.objective_bits = v
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .split(", ")
+                .filter(|s| !s.is_empty())
+                .count() as u32;
+        }
+        if let Some(v) = field(line, "delay_ps") {
+            r.delay_ps = v.parse().expect("delay_ps is a number");
+        }
+        if field(line, "delay_ps_bits").is_some() {
+            r.has_delay_bits = true;
+        }
+        if let Some(v) = field(line, "nmed") {
+            r.nmed = v.parse().expect("nmed is a number");
+        }
+        if field(line, "nmed_bits").is_some() {
+            r.has_nmed_bits = true;
+        }
+        if let Some(v) = field(line, "hws") {
+            r.hws = v.parse().expect("hws is an integer");
+        }
+        if let Some(v) = field(line, "depth") {
+            r.depth = v.parse().expect("depth is an integer");
+        }
+        if let Some(v) = field(line, "live_gates") {
+            r.live_gates = v.parse().expect("live_gates is an integer");
+        }
+        if line.trim_start().starts_with("{\"signal\":") {
+            r.path_gates += 1;
+        }
+        if let Some(v) = field(line, "netlist") {
+            r.netlist = v.trim_matches('"').replace("\\n", "\n");
+        }
+    }
+    records.extend(current);
+    (header, records)
+}
+
+#[test]
+fn dse_report_meets_the_schema_contract() {
+    // A deliberately small run: the schema shape is identical at every
+    // scale, and tier-1 runs this in debug.
+    let mut cfg = appmult_bench::dse_driver::DseBenchConfig::smoke(1);
+    cfg.mu = 4;
+    cfg.lambda = 8;
+    cfg.generations = 2;
+    let outcome = appmult_bench::dse_driver::run_dse_bench(&cfg);
+
+    // Persist the same artefact the dse binary writes, so the assertions
+    // below genuinely go through the serialized report.
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/DSE.json", &outcome.json).expect("write DSE.json");
+    let json = std::fs::read_to_string("results/DSE.json").expect("read DSE.json");
+
+    assert!(json.contains("\"schema\": \"appmult-dse/v1\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    let (header, records) = parse(&json);
+    assert_eq!(header.schema, "appmult-dse/v1");
+    assert_eq!(header.seed, Some(cfg.seed));
+    let threads = header.threads.expect("config header carries threads");
+    assert!(threads >= 1);
+    assert!(
+        !header
+            .kernel
+            .expect("config header carries kernel")
+            .is_empty(),
+        "kernel label must be recorded"
+    );
+
+    assert_eq!(
+        records.len(),
+        outcome.result.frontier.len(),
+        "one record per frontier member"
+    );
+    assert!(!records.is_empty(), "smoke search found an empty frontier");
+    for r in &records {
+        assert!(r.name.starts_with("dse6u_c"), "{r:?}");
+        assert_eq!(r.bits, cfg.bits, "{r:?}");
+        assert!(r.has_objective, "{r:?}");
+        assert_eq!(r.objective_bits, 3, "{r:?}");
+        assert!(r.delay_ps > 0.0, "{r:?}");
+        assert!(r.has_delay_bits, "{r:?}");
+        assert!(r.nmed >= 0.0, "{r:?}");
+        assert!(r.has_nmed_bits, "{r:?}");
+        assert!(r.hws >= 1, "{r:?}");
+        assert!(r.depth > 0, "{r:?}");
+        assert!(r.live_gates > 0, "{r:?}");
+        assert!(r.path_gates > 0, "{r:?}");
+        assert!(r.path_gates <= r.depth + 1, "{r:?}");
+        // The embedded netlist must parse back and expose the 2B-bit bus.
+        let netlist =
+            appmult_circuit::from_netlist_text(&r.netlist).expect("embedded netlist export parses");
+        assert_eq!(netlist.num_inputs(), 2 * cfg.bits as usize, "{}", r.name);
+    }
+
+    // Record ids are unique and ascending (the canonical frontier order).
+    let ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ids, sorted, "frontier records must be id-ordered");
+
+    // The frontier-only document shares the same entries, minus the
+    // machine-dependent header.
+    assert!(outcome
+        .frontier_json
+        .contains("\"schema\": \"appmult-dse/v1\""));
+    assert!(!outcome.frontier_json.contains("\"threads\""));
+    assert!(!outcome.frontier_json.contains("\"kernel\""));
+    for r in &records {
+        assert!(outcome.frontier_json.contains(&r.name), "{}", r.name);
+    }
+}
