@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod dse_driver;
+pub mod grad_matrix_driver;
 pub mod serve_driver;
 
 use std::sync::Arc;
@@ -35,8 +36,8 @@ use appmult_nn::layers::Sequential;
 use appmult_nn::optim::{Adam, StepSchedule};
 use appmult_obs::ObsSink;
 use appmult_retrain::{
-    evaluate, retrain, Batch, GradientLut, GradientMode, ResiliencePolicy, RetrainConfig,
-    RetrainHistory,
+    evaluate, retrain, Batch, GradientLut, GradientMode, QuantConfig, QuantScheme,
+    ResiliencePolicy, RetrainConfig, RetrainHistory,
 };
 
 /// Which network family an experiment trains.
@@ -234,8 +235,46 @@ pub fn retrain_with_multiplier_resilient(
     mode: GradientMode,
     resilience: Option<ResiliencePolicy>,
 ) -> RetrainOutcome {
-    let grads = Arc::new(GradientLut::build(lut, mode));
-    let conv = ConvMode::approximate(lut.clone(), grads);
+    retrain_with_multiplier_scheme(
+        kind,
+        scale,
+        workload,
+        pretrained,
+        lut,
+        mode,
+        QuantScheme::Unsigned,
+        resilience,
+    )
+}
+
+/// The full retraining entry point: explicit quantization scheme, so the
+/// signed int8 path (`SignMagnitudeMultiplier::to_offset_lut` +
+/// [`QuantScheme::SignedOffset`]) runs the same Fig. 1 flow as the paper's
+/// unsigned experiments. Gradient tables are built under the same scheme.
+#[allow(clippy::too_many_arguments)]
+pub fn retrain_with_multiplier_scheme(
+    kind: ModelKind,
+    scale: &Scale,
+    workload: &Workload,
+    pretrained: &mut Sequential,
+    lut: &Arc<MultiplierLut>,
+    mode: GradientMode,
+    scheme: QuantScheme,
+    resilience: Option<ResiliencePolicy>,
+) -> RetrainOutcome {
+    let grads = Arc::new(
+        GradientLut::try_build_for(lut, mode, scheme, appmult_pool::Pool::global())
+            .expect("gradient tables rejected"),
+    );
+    let config = QuantConfig {
+        scheme,
+        ..QuantConfig::default()
+    };
+    let conv = ConvMode::Approximate {
+        lut: lut.clone(),
+        grads,
+        config,
+    };
     let mut model = kind.build(&scale.model, conv);
     copy_params(pretrained, &mut model);
     let (initial_top1, _) = evaluate(&mut model, &workload.test);

@@ -10,6 +10,7 @@
 //! To bless an intentional change: `UPDATE_GOLDEN=1 cargo test -p
 //! appmult-bench --test golden`, then commit the updated files.
 
+use appmult_bench::grad_matrix_driver::{run_grad_matrix, EstimatorKind, GradMatrixConfig};
 use appmult_bench::{fig3_csv, table1_row, TABLE1_CSV_HEADER};
 use appmult_circuit::CostModel;
 use appmult_mult::{zoo, Multiplier};
@@ -65,6 +66,23 @@ fn fig3_series_for_mul6u_rm4_matches_golden() {
     let lut = zoo::mul6u_rm4().to_lut();
     let hws = zoo::entry("mul6u_rm4").expect("known").recommended_hws();
     assert_golden("fig3_mul6u_rm4.csv", &fig3_csv(&lut, 10, hws));
+}
+
+#[test]
+fn grad_matrix_grid_for_seeded_smoke_matches_golden() {
+    // One seeded cell grid over the two default designs (unsigned
+    // mul7u_rm6 and the signed int8 mul8u_rm6_signed) with a cut-down
+    // estimator set and schedule. The grid document is machine-independent
+    // by construction (no threads/kernel fields, bit-identical parallel
+    // table builds and GEMMs), so a byte-level compare is stable across
+    // thread counts; a diff here means the estimator math or the
+    // retraining data path changed.
+    let mut cfg = GradMatrixConfig::smoke(7);
+    cfg.pretrain_epochs = 1;
+    cfg.retrain_epochs = 1;
+    cfg.estimators = vec![EstimatorKind::Ste, EstimatorKind::Diff, EstimatorKind::Lsq];
+    let outcome = run_grad_matrix(&cfg);
+    assert_golden("grad_matrix_grid_seed7.json", &outcome.grid_json);
 }
 
 #[test]

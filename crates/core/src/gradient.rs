@@ -18,6 +18,16 @@
 //! lookup tables ([`GradientLut`]) exactly as the paper stores them in GPU
 //! memory, and the framework accepts arbitrary user-defined tables through
 //! [`GradientMode::Custom`].
+//!
+//! The journal extension (arXiv 2509.10519) generalizes the single
+//! difference-based rule into an estimator *family*, all reproduced here:
+//! parameterized smoothing kernels for Eq. 4
+//! ([`GradientMode::DifferenceKernel`]), a least-squares local linear fit
+//! ([`GradientMode::LeastSquares`]), an input-distribution-weighted
+//! average ([`GradientMode::MarginalWeighted`]), and an ApproxTrain-style
+//! per-row linear surrogate ([`GradientMode::Surrogate`]). Every variant
+//! builds its tables through the same parallel row-partitioned path, so
+//! the bit-identity-at-any-thread-count guarantee carries over unchanged.
 
 use std::fmt;
 use std::sync::Arc;
@@ -25,7 +35,8 @@ use std::sync::Arc;
 use appmult_mult::MultiplierLut;
 use appmult_pool::Pool;
 
-use crate::smoothing::{row_min_max, smooth_row};
+use crate::quant::QuantScheme;
+use crate::smoothing::{row_min_max, smooth_row_kernel, weighted_smooth_row, SmoothingKernel};
 
 /// How the gradient of an AppMult is approximated during backpropagation.
 #[derive(Debug, Clone)]
@@ -51,6 +62,48 @@ pub enum GradientMode {
         /// Half window size `HWS` of the Eq. 4 moving average.
         hws: u32,
     },
+    /// Journal extension: Eq. 4 smoothing with a parameterized window
+    /// kernel (box, triangular, discrete Gaussian) followed by the Eq. 5
+    /// central difference and the Eq. 6 boundary rule. With
+    /// [`SmoothingKernel::Box`] this is bit-identical to
+    /// [`GradientMode::DifferenceBased`].
+    DifferenceKernel {
+        /// Half window size of the smoothing window.
+        hws: u32,
+        /// Weight profile over the window.
+        kernel: SmoothingKernel,
+    },
+    /// Journal extension: the gradient is the slope of the least-squares
+    /// linear fit of the *raw* AppMult row over `[X - w, X + w]` (window
+    /// regression instead of smoothing + central difference); Eq. 6 at the
+    /// boundary. On exactly linear rows this equals the central
+    /// difference.
+    LeastSquares {
+        /// Regression half window `w >= 1`.
+        window: u32,
+    },
+    /// Journal extension: Eq. 4 average weighted by profiled operand
+    /// marginals (e.g. from `ErrorMetrics::with_marginals`-style
+    /// histograms or [`crate::ApproxLinear::operand_histograms`]), so
+    /// gradient mass concentrates on operand values the network actually
+    /// produces. `wrt_x` tables weight the window by the activation
+    /// marginal `x_probs`; `wrt_w` tables by the weight marginal
+    /// `w_probs`. Uniform marginals reduce to
+    /// [`GradientMode::DifferenceBased`].
+    MarginalWeighted {
+        /// Half window size of the weighted smoothing window.
+        hws: u32,
+        /// Weight-operand marginal, `2^B` entries summing to ~1.
+        w_probs: Arc<Vec<f64>>,
+        /// Activation-operand marginal, `2^B` entries summing to ~1.
+        x_probs: Arc<Vec<f64>>,
+    },
+    /// ApproxTrain-style surrogate: each fixed-`W_f` row is replaced by
+    /// its global least-squares linear fit, so the gradient w.r.t. `X` is
+    /// a single per-row constant (the regression slope of the whole row).
+    /// The roughest member of the family — it cannot see the staircase at
+    /// all — but, unlike STE, it does track each row's average gain.
+    Surrogate,
     /// User-supplied gradient tables in `(w << B) | x` layout.
     Custom {
         /// `dAM/dW` table, `2^(2B)` entries.
@@ -66,13 +119,58 @@ impl GradientMode {
         GradientMode::DifferenceBased { hws }
     }
 
-    /// Short identifier used in experiment tables.
+    /// Convenience constructor for a kernel-smoothed difference estimator.
+    pub fn difference_kernel(hws: u32, kernel: SmoothingKernel) -> Self {
+        GradientMode::DifferenceKernel { hws, kernel }
+    }
+
+    /// Convenience constructor for the window-regression estimator.
+    pub fn least_squares(window: u32) -> Self {
+        GradientMode::LeastSquares { window }
+    }
+
+    /// Convenience constructor for the marginal-weighted estimator.
+    pub fn marginal_weighted(hws: u32, w_probs: Vec<f64>, x_probs: Vec<f64>) -> Self {
+        GradientMode::MarginalWeighted {
+            hws,
+            w_probs: Arc::new(w_probs),
+            x_probs: Arc::new(x_probs),
+        }
+    }
+
+    /// Short identifier used in experiment tables. For the journal-
+    /// extension variants this equals [`GradientMode::key`], so the label
+    /// is directly usable as a JSON key.
     pub fn label(&self) -> String {
         match self {
             GradientMode::Ste => "STE".into(),
             GradientMode::DifferenceBased { hws } => format!("diff(hws={hws})"),
             GradientMode::RawDifference => "raw-diff".into(),
             GradientMode::DifferenceEdgeClamped { hws } => format!("diff-clamp(hws={hws})"),
+            GradientMode::DifferenceKernel { .. }
+            | GradientMode::LeastSquares { .. }
+            | GradientMode::MarginalWeighted { .. }
+            | GradientMode::Surrogate
+            | GradientMode::Custom { .. } => self.key(),
+        }
+    }
+
+    /// Stable identifier usable as a JSON key: lowercase, no spaces,
+    /// parentheses, or `=` (e.g. `ste`, `diff_h4`, `tri_h4`, `lsq_w3`,
+    /// `marginal_h4`, `surrogate`). Every distinct parameterization has a
+    /// distinct key; `grad_matrix` report cells are indexed by it.
+    pub fn key(&self) -> String {
+        match self {
+            GradientMode::Ste => "ste".into(),
+            GradientMode::DifferenceBased { hws } => format!("diff_h{hws}"),
+            GradientMode::RawDifference => "raw_diff".into(),
+            GradientMode::DifferenceEdgeClamped { hws } => format!("diff_clamp_h{hws}"),
+            GradientMode::DifferenceKernel { hws, kernel } => {
+                format!("{}_h{hws}", kernel.key())
+            }
+            GradientMode::LeastSquares { window } => format!("lsq_w{window}"),
+            GradientMode::MarginalWeighted { hws, .. } => format!("marginal_h{hws}"),
+            GradientMode::Surrogate => "surrogate".into(),
             GradientMode::Custom { .. } => "custom".into(),
         }
     }
@@ -114,8 +212,9 @@ impl GradientLut {
     ///
     /// # Panics
     ///
-    /// Panics if `mode` is `DifferenceBased` with `hws == 0`, or `Custom`
-    /// with tables of the wrong length.
+    /// Panics if a difference-family mode has a zero half window, or if
+    /// [`GradientLut::try_build`] returns an error (wrong `Custom` or
+    /// marginal table lengths).
     pub fn build(lut: &MultiplierLut, mode: GradientMode) -> Self {
         Self::build_with_pool(lut, mode, Pool::global())
     }
@@ -124,7 +223,66 @@ impl GradientLut {
     /// (fixed `W_f` slices) are independent, so they are partitioned across
     /// the workers; each entry is written exactly once, making the tables
     /// bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GradientLut::build`].
     pub fn build_with_pool(lut: &MultiplierLut, mode: GradientMode, pool: Pool) -> Self {
+        match Self::try_build_for(lut, mode, QuantScheme::Unsigned, pool) {
+            Ok(g) => g,
+            Err(e) => panic!("gradient tables rejected: {e}"),
+        }
+    }
+
+    /// Builds gradient tables for a signed offset-binary LUT (see
+    /// `SignMagnitudeMultiplier::to_offset_lut`): codes represent
+    /// `value = code - 2^(B-1)`, so the accurate-gradient (STE) tables are
+    /// `dAM/dX = W - 2^(B-1)` instead of the raw code. The
+    /// difference-family estimators differentiate the stored table
+    /// directly and are scheme-agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GradientLut::build`].
+    pub fn build_signed(lut: &MultiplierLut, mode: GradientMode) -> Self {
+        match Self::try_build_for(lut, mode, QuantScheme::SignedOffset, Pool::global()) {
+            Ok(g) => g,
+            Err(e) => panic!("gradient tables rejected: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`GradientLut::build`]: returns a typed error
+    /// instead of panicking when `Custom` or marginal tables have the
+    /// wrong length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradientLutError::LengthMismatch`] naming the offending
+    /// table.
+    pub fn try_build(lut: &MultiplierLut, mode: GradientMode) -> Result<Self, GradientLutError> {
+        Self::try_build_for(lut, mode, QuantScheme::Unsigned, Pool::global())
+    }
+
+    /// The full build entry point: explicit quantization scheme (which
+    /// only affects the [`GradientMode::Ste`] accurate-gradient tables)
+    /// and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradientLutError::LengthMismatch`] for wrong-length
+    /// `Custom` or [`GradientMode::MarginalWeighted`] tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a difference-family mode has a zero half window (a
+    /// programming error, unlike data-sized tables which report typed
+    /// errors).
+    pub fn try_build_for(
+        lut: &MultiplierLut,
+        mode: GradientMode,
+        scheme: QuantScheme,
+        pool: Pool,
+    ) -> Result<Self, GradientLutError> {
         let obs = appmult_obs::global();
         let _span = obs.span("gradient_lut.build");
         let build_start = obs.is_enabled().then(std::time::Instant::now);
@@ -133,21 +291,29 @@ impl GradientLut {
         let label = mode.label();
         let (wrt_w, wrt_x) = match mode {
             GradientMode::Ste => {
+                // Accurate-gradient surrogate: the derivative of the exact
+                // product in *value* space. Unsigned codes are their own
+                // values; signed offset codes carry value = code - 2^(B-1).
+                let half = match scheme {
+                    QuantScheme::Unsigned => 0i64,
+                    QuantScheme::SignedOffset => (n / 2) as i64,
+                };
                 let mut gw = vec![0.0f32; n * n];
                 let mut gx = vec![0.0f32; n * n];
                 for w in 0..n {
                     for x in 0..n {
-                        gw[w * n + x] = x as f32; // dAM/dW ~ X
-                        gx[w * n + x] = w as f32; // dAM/dX ~ W
+                        gw[w * n + x] = (x as i64 - half) as f32; // dAM/dW ~ X
+                        gx[w * n + x] = (w as i64 - half) as f32; // dAM/dX ~ W
                     }
                 }
                 (Arc::new(gw), Arc::new(gx))
             }
             GradientMode::DifferenceBased { hws } => {
                 assert!(hws >= 1, "half window size must be positive");
-                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope, pool);
+                let s = Smoother::Kernel(SmoothingKernel::Box);
+                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope, &s, pool);
                 let gw =
-                    difference_tables(&lut.transposed(), hws, BoundaryRule::AverageSlope, pool);
+                    difference_tables(&lut.transposed(), hws, BoundaryRule::AverageSlope, &s, pool);
                 (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
             }
             GradientMode::RawDifference => {
@@ -157,14 +323,76 @@ impl GradientLut {
             }
             GradientMode::DifferenceEdgeClamped { hws } => {
                 assert!(hws >= 1, "half window size must be positive");
-                let gx = difference_tables(lut, hws, BoundaryRule::ClampToInterior, pool);
+                let s = Smoother::Kernel(SmoothingKernel::Box);
+                let gx = difference_tables(lut, hws, BoundaryRule::ClampToInterior, &s, pool);
+                let gw = difference_tables(
+                    &lut.transposed(),
+                    hws,
+                    BoundaryRule::ClampToInterior,
+                    &s,
+                    pool,
+                );
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
+            }
+            GradientMode::DifferenceKernel { hws, kernel } => {
+                assert!(hws >= 1, "half window size must be positive");
+                let s = Smoother::Kernel(kernel);
+                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope, &s, pool);
                 let gw =
-                    difference_tables(&lut.transposed(), hws, BoundaryRule::ClampToInterior, pool);
+                    difference_tables(&lut.transposed(), hws, BoundaryRule::AverageSlope, &s, pool);
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
+            }
+            GradientMode::LeastSquares { window } => {
+                assert!(window >= 1, "regression window must be positive");
+                let gx = least_squares_tables(lut, window, pool);
+                let gw = least_squares_tables(&lut.transposed(), window, pool);
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
+            }
+            GradientMode::MarginalWeighted {
+                hws,
+                w_probs,
+                x_probs,
+            } => {
+                assert!(hws >= 1, "half window size must be positive");
+                for (probs, name) in [(&w_probs, "w_probs"), (&x_probs, "x_probs")] {
+                    if probs.len() != n {
+                        return Err(GradientLutError::LengthMismatch {
+                            table: name,
+                            expected: n,
+                            got: probs.len(),
+                        });
+                    }
+                }
+                // wrt_x: windows slide over X, weighted by the activation
+                // marginal. wrt_w: windows slide over W (the transposed
+                // table's inner axis), weighted by the weight marginal.
+                let sx = Smoother::Weighted(&x_probs);
+                let gx = difference_tables(lut, hws, BoundaryRule::AverageSlope, &sx, pool);
+                let sw = Smoother::Weighted(&w_probs);
+                let gw = difference_tables(
+                    &lut.transposed(),
+                    hws,
+                    BoundaryRule::AverageSlope,
+                    &sw,
+                    pool,
+                );
+                (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
+            }
+            GradientMode::Surrogate => {
+                let gx = surrogate_tables(lut, pool);
+                let gw = surrogate_tables(&lut.transposed(), pool);
                 (Arc::new(transpose_table(n, &gw)), Arc::new(gx))
             }
             GradientMode::Custom { wrt_w, wrt_x } => {
-                assert_eq!(wrt_w.len(), n * n, "wrt_w table length");
-                assert_eq!(wrt_x.len(), n * n, "wrt_x table length");
+                for (table, name) in [(&wrt_w, "wrt_w"), (&wrt_x, "wrt_x")] {
+                    if table.len() != n * n {
+                        return Err(GradientLutError::LengthMismatch {
+                            table: name,
+                            expected: n * n,
+                            got: table.len(),
+                        });
+                    }
+                }
                 (wrt_w, wrt_x)
             }
         };
@@ -172,12 +400,12 @@ impl GradientLut {
         if let Some(start) = build_start {
             obs.observe("gradient_lut.build_us", start.elapsed().as_secs_f64() * 1e6);
         }
-        Self {
+        Ok(Self {
             bits,
             wrt_w,
             wrt_x,
             mode_label: label,
-        }
+        })
     }
 
     /// Operand bit width.
@@ -340,10 +568,35 @@ fn transpose_table(n: usize, t: &[f32]) -> Vec<f32> {
 /// Above it (8-bit: 65536 elements) the parallel build wins.
 const TABLE_PAR_FLOOR_ELEMS: usize = 1 << 14;
 
+/// How an Eq. 4 window average weights its members: a fixed kernel shape
+/// or profiled operand-marginal probabilities. `Kernel(Box)` reproduces
+/// the paper's plain moving average bit-for-bit.
+enum Smoother<'a> {
+    /// Fixed window kernel (box / triangular / discrete Gaussian).
+    Kernel(SmoothingKernel),
+    /// Operand-marginal weights over the row's axis (`2^B` entries).
+    Weighted(&'a [f64]),
+}
+
+impl Smoother<'_> {
+    fn smooth(&self, row: &[u32], hws: u32) -> Vec<Option<f64>> {
+        match self {
+            Smoother::Kernel(k) => smooth_row_kernel(row, hws, *k),
+            Smoother::Weighted(probs) => weighted_smooth_row(row, hws, probs),
+        }
+    }
+}
+
 /// Eq. 5 + boundary rule over every row of `lut` (gradient w.r.t. the
 /// second operand of the given table). Rows (weight values `w`) are
 /// independent and partitioned across the pool's workers.
-fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule, pool: Pool) -> Vec<f32> {
+fn difference_tables(
+    lut: &MultiplierLut,
+    hws: u32,
+    rule: BoundaryRule,
+    smoother: &Smoother<'_>,
+    pool: Pool,
+) -> Vec<f32> {
     let bits = lut.bits();
     let n = 1usize << bits;
     let h = hws as usize;
@@ -353,7 +606,7 @@ fn difference_tables(lut: &MultiplierLut, hws: u32, rule: BoundaryRule, pool: Po
         for (r, out_row) in chunk.chunks_mut(n).enumerate() {
             let w = (w0 + r) as u32;
             let row = lut.row(w);
-            let smoothed = smooth_row(row, hws);
+            let smoothed = smoother.smooth(row, hws);
             let (lo, hi) = row_min_max(row);
             // Eq. 6: average change per unit X over the full operand range.
             let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
@@ -406,6 +659,67 @@ fn raw_difference_tables(lut: &MultiplierLut, pool: Pool) -> Vec<f32> {
                     boundary
                 };
             }
+        }
+    });
+    out
+}
+
+/// Journal extension: the gradient at `X` is the slope of the
+/// least-squares linear fit of the raw row over `[X - w, X + w]`
+/// (`slope = sum(d * y[x+d]) / sum(d^2)`, `d = -w..=w`); Eq. 6 where the
+/// window does not fit. On an exactly linear row this reduces to the
+/// central difference (the antisymmetric weights cancel the intercept).
+fn least_squares_tables(lut: &MultiplierLut, window: u32, pool: Pool) -> Vec<f32> {
+    let bits = lut.bits();
+    let n = 1usize << bits;
+    let w_us = window as usize;
+    // sum over d = -w..=w of d^2.
+    let denom: f64 = (1..=i64::from(window)).map(|d| 2.0 * (d * d) as f64).sum();
+    let mut out = vec![0.0f32; n * n];
+    let pool = pool.with_min_elems(TABLE_PAR_FLOOR_ELEMS);
+    pool.run_rows(&mut out, n, |w0, chunk| {
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            let w = (w0 + r) as u32;
+            let row = lut.row(w);
+            let (lo, hi) = row_min_max(row);
+            let boundary = ((f64::from(hi) - f64::from(lo)) / n as f64) as f32;
+            for x in 0..n {
+                out_row[x] = if x >= w_us && x + w_us < n {
+                    let mut num = 0.0f64;
+                    for d in 1..=w_us {
+                        num += d as f64 * (f64::from(row[x + d]) - f64::from(row[x - d]));
+                    }
+                    (num / denom) as f32
+                } else {
+                    boundary
+                };
+            }
+        }
+    });
+    out
+}
+
+/// ApproxTrain-style surrogate: each row is replaced by its global
+/// least-squares linear fit, so the whole row shares one gradient value
+/// (the fit's slope). Row sums run in index order, so the tables stay
+/// bit-identical at every thread count.
+fn surrogate_tables(lut: &MultiplierLut, pool: Pool) -> Vec<f32> {
+    let bits = lut.bits();
+    let n = 1usize << bits;
+    let mean = (n as f64 - 1.0) / 2.0;
+    let denom: f64 = (0..n).map(|x| (x as f64 - mean) * (x as f64 - mean)).sum();
+    let mut out = vec![0.0f32; n * n];
+    let pool = pool.with_min_elems(TABLE_PAR_FLOOR_ELEMS);
+    pool.run_rows(&mut out, n, |w0, chunk| {
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            let w = (w0 + r) as u32;
+            let row = lut.row(w);
+            let mut num = 0.0f64;
+            for (x, &v) in row.iter().enumerate() {
+                num += (x as f64 - mean) * f64::from(v);
+            }
+            let slope = (num / denom) as f32;
+            out_row.fill(slope);
         }
     });
     out
@@ -657,7 +971,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "table length")]
+    fn custom_tables_report_typed_length_errors() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let bad = Arc::new(vec![0.0f32; 10]);
+        let err = GradientLut::try_build(
+            &lut,
+            GradientMode::Custom {
+                wrt_w: bad.clone(),
+                wrt_x: bad,
+            },
+        )
+        .expect_err("short tables must be rejected");
+        assert_eq!(
+            err,
+            GradientLutError::LengthMismatch {
+                table: "wrt_w",
+                expected: 256,
+                got: 10,
+            }
+        );
+        assert_eq!(err.to_string(), "wrt_w has 10 entries, expected 256");
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient tables rejected")]
     fn custom_tables_validate_length() {
         let lut = ExactMultiplier::new(4).to_lut();
         let bad = Arc::new(vec![0.0f32; 10]);
@@ -668,5 +1005,247 @@ mod tests {
                 wrt_x: bad,
             },
         );
+    }
+
+    #[test]
+    fn marginal_tables_report_typed_length_errors() {
+        let lut = ExactMultiplier::new(4).to_lut();
+        let err = GradientLut::try_build(
+            &lut,
+            GradientMode::marginal_weighted(2, vec![1.0 / 16.0; 16], vec![1.0 / 8.0; 8]),
+        )
+        .expect_err("short x_probs must be rejected");
+        assert_eq!(
+            err,
+            GradientLutError::LengthMismatch {
+                table: "x_probs",
+                expected: 16,
+                got: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn box_kernel_variant_is_bit_identical_to_difference_based() {
+        let lut = TruncatedMultiplier::new(7, 6).to_lut();
+        let paper = GradientLut::build(&lut, GradientMode::difference_based(4));
+        let boxed = GradientLut::build(
+            &lut,
+            GradientMode::difference_kernel(4, SmoothingKernel::Box),
+        );
+        let bits_of = |t: &[f32]| -> Vec<u32> { t.iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits_of(paper.wrt_w_table()), bits_of(boxed.wrt_w_table()));
+        assert_eq!(bits_of(paper.wrt_x_table()), bits_of(boxed.wrt_x_table()));
+    }
+
+    #[test]
+    fn kernel_estimators_track_ste_on_the_exact_multiplier() {
+        // AM(W, X) = W X is linear in each operand, so every smoothing
+        // kernel and the window regression must recover exactly W in the
+        // interior.
+        let lut = ExactMultiplier::new(6).to_lut();
+        for mode in [
+            GradientMode::difference_kernel(3, SmoothingKernel::Triangular),
+            GradientMode::difference_kernel(3, SmoothingKernel::Gaussian),
+            GradientMode::least_squares(3),
+        ] {
+            let g = GradientLut::build(&lut, mode.clone());
+            for w in [0u32, 7, 33, 63] {
+                for x in [8u32, 20, 40, 55] {
+                    assert!(
+                        (g.wrt_x(w, x) - w as f32).abs() < 1e-3,
+                        "{}: w={w} x={x}: {}",
+                        mode.key(),
+                        g.wrt_x(w, x)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_window_one_is_the_raw_central_difference() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let lsq = GradientLut::build(&lut, GradientMode::least_squares(1));
+        let raw = GradientLut::build(&lut, GradientMode::RawDifference);
+        for w in 0..64u32 {
+            for x in 1..63u32 {
+                assert_eq!(lsq.wrt_x(w, x), raw.wrt_x(w, x), "w={w} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_rows_are_constant_and_exact_on_the_exact_multiplier() {
+        let lut = ExactMultiplier::new(6).to_lut();
+        let g = GradientLut::build(&lut, GradientMode::Surrogate);
+        for w in 0..64u32 {
+            // Row w is exactly linear with slope w: the global fit is exact
+            // and shared by every X.
+            for x in 0..64u32 {
+                assert!(
+                    (g.wrt_x(w, x) - w as f32).abs() < 1e-3,
+                    "w={w} x={x}: {}",
+                    g.wrt_x(w, x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_marginals_match_difference_based() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let uniform = vec![1.0 / 64.0; 64];
+        let g = GradientLut::build(
+            &lut,
+            GradientMode::marginal_weighted(4, uniform.clone(), uniform),
+        );
+        let paper = GradientLut::build(&lut, GradientMode::difference_based(4));
+        for w in 0..64u32 {
+            for x in 0..64u32 {
+                assert!(
+                    (g.wrt_x(w, x) - paper.wrt_x(w, x)).abs() < 1e-3,
+                    "wrt_x w={w} x={x}"
+                );
+                assert!(
+                    (g.wrt_w(w, x) - paper.wrt_w(w, x)).abs() < 1e-3,
+                    "wrt_w w={w} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_ste_tables_subtract_the_offset() {
+        use appmult_mult::SignMagnitudeMultiplier;
+        let signed = SignMagnitudeMultiplier::new(ExactMultiplier::new(6));
+        let lut = signed.to_offset_lut();
+        let g = GradientLut::build_signed(&lut, GradientMode::Ste);
+        for w in 0..64u32 {
+            for x in 0..64u32 {
+                assert_eq!(g.wrt_x(w, x), w as f32 - 32.0, "w={w} x={x}");
+                assert_eq!(g.wrt_w(w, x), x as f32 - 32.0, "w={w} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_difference_tables_track_the_signed_value() {
+        // Offset rows store (w - 32)(x - 32) + 2048: linear in X with slope
+        // (w - 32), which the difference estimator recovers unchanged —
+        // the additive offset cancels in every difference.
+        use appmult_mult::SignMagnitudeMultiplier;
+        let signed = SignMagnitudeMultiplier::new(ExactMultiplier::new(6));
+        let lut = signed.to_offset_lut();
+        let g = GradientLut::build_signed(&lut, GradientMode::difference_based(4));
+        for w in [0u32, 10, 32, 50, 63] {
+            for x in [8u32, 20, 40, 55] {
+                let expect = w as f32 - 32.0;
+                assert!(
+                    (g.wrt_x(w, x) - expect).abs() < 1e-3,
+                    "w={w} x={x}: {} vs {expect}",
+                    g.wrt_x(w, x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_modes_parallel_build_is_bit_identical_to_serial() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let marg: Vec<f64> = (0..64).map(|i| (i + 1) as f64 / 2080.0).collect();
+        let modes = [
+            GradientMode::difference_kernel(3, SmoothingKernel::Triangular),
+            GradientMode::difference_kernel(3, SmoothingKernel::Gaussian),
+            GradientMode::least_squares(2),
+            GradientMode::marginal_weighted(3, marg.clone(), marg),
+            GradientMode::Surrogate,
+        ];
+        for mode in modes {
+            let serial = GradientLut::build_with_pool(&lut, mode.clone(), Pool::serial());
+            for threads in [3usize, 7, 64] {
+                let par = GradientLut::build_with_pool(&lut, mode.clone(), Pool::new(threads));
+                let bits_of = |t: &[f32]| -> Vec<u32> { t.iter().map(|v| v.to_bits()).collect() };
+                assert_eq!(
+                    bits_of(serial.wrt_w_table()),
+                    bits_of(par.wrt_w_table()),
+                    "wrt_w {} threads={threads}",
+                    mode.key()
+                );
+                assert_eq!(
+                    bits_of(serial.wrt_x_table()),
+                    bits_of(par.wrt_x_table()),
+                    "wrt_x {} threads={threads}",
+                    mode.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_json_safe_identifiers() {
+        let uniform = vec![1.0 / 64.0; 64];
+        let cases = [
+            (GradientMode::Ste, "ste"),
+            (GradientMode::difference_based(4), "diff_h4"),
+            (GradientMode::RawDifference, "raw_diff"),
+            (
+                GradientMode::DifferenceEdgeClamped { hws: 2 },
+                "diff_clamp_h2",
+            ),
+            (
+                GradientMode::difference_kernel(4, SmoothingKernel::Box),
+                "box_h4",
+            ),
+            (
+                GradientMode::difference_kernel(4, SmoothingKernel::Triangular),
+                "tri_h4",
+            ),
+            (
+                GradientMode::difference_kernel(4, SmoothingKernel::Gaussian),
+                "gauss_h4",
+            ),
+            (GradientMode::least_squares(3), "lsq_w3"),
+            (
+                GradientMode::marginal_weighted(4, uniform.clone(), uniform),
+                "marginal_h4",
+            ),
+            (GradientMode::Surrogate, "surrogate"),
+        ];
+        for (mode, key) in cases {
+            assert_eq!(mode.key(), key);
+            assert!(
+                key.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{key}"
+            );
+            // New-family labels equal their keys; classic labels stay as
+            // published in the paper-era reports.
+            if !matches!(
+                mode,
+                GradientMode::Ste
+                    | GradientMode::DifferenceBased { .. }
+                    | GradientMode::RawDifference
+                    | GradientMode::DifferenceEdgeClamped { .. }
+            ) {
+                assert_eq!(mode.label(), key);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_new_mode() {
+        let lut = TruncatedMultiplier::new(6, 4).to_lut();
+        let uniform = vec![1.0 / 64.0; 64];
+        for mode in [
+            GradientMode::difference_kernel(3, SmoothingKernel::Triangular),
+            GradientMode::difference_kernel(3, SmoothingKernel::Gaussian),
+            GradientMode::least_squares(3),
+            GradientMode::marginal_weighted(3, uniform.clone(), uniform),
+            GradientMode::Surrogate,
+        ] {
+            let g = GradientLut::build(&lut, mode);
+            assert_eq!(g.validate(), Ok(()));
+        }
     }
 }

@@ -14,18 +14,44 @@ use appmult_nn::{Module, Parameter, Tensor};
 use appmult_pool::Pool;
 
 use crate::gradient::GradientLut;
-use crate::quant::{dequantize_dot, Observer, QuantParams};
+use crate::quant::{dequantize_dot, dequantize_dot_offset, Observer, QuantParams, QuantScheme};
 
 /// Quantizer configuration shared by the approximate layers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantConfig {
     /// EMA momentum of the activation range observer.
     pub ema_momentum: f32,
+    /// Code mapping: the paper's unsigned affine scheme, or signed
+    /// offset-binary codes for `SignMagnitudeMultiplier` offset LUTs.
+    pub scheme: QuantScheme,
 }
 
 impl Default for QuantConfig {
     fn default() -> Self {
-        Self { ema_momentum: 0.05 }
+        Self {
+            ema_momentum: 0.05,
+            scheme: QuantScheme::Unsigned,
+        }
+    }
+}
+
+impl QuantConfig {
+    /// Default configuration on the signed offset-binary scheme.
+    pub fn signed() -> Self {
+        Self {
+            scheme: QuantScheme::SignedOffset,
+            ..Self::default()
+        }
+    }
+}
+
+/// Quantizer parameters for a `[lo, hi]` range under the given scheme:
+/// asymmetric affine for unsigned codes, symmetric (pinned zero point
+/// `2^(B-1)`) over the magnitude reach for signed offset-binary codes.
+fn scheme_params(scheme: QuantScheme, lo: f32, hi: f32, bits: u32) -> QuantParams {
+    match scheme {
+        QuantScheme::Unsigned => QuantParams::from_range(lo, hi, bits),
+        QuantScheme::SignedOffset => QuantParams::signed_symmetric(lo.abs().max(hi.abs()), bits),
     }
 }
 
@@ -38,6 +64,7 @@ struct GemmCache {
     xclip: Vec<bool>, // Q'(x) != 0
     wq_params: Option<QuantParams>,
     xq_params: Option<QuantParams>,
+    scheme: QuantScheme,
     m: usize,
     j: usize,
     k: usize,
@@ -60,6 +87,7 @@ impl GemmCache {
         xclip: Vec<bool>,
         wq_params: QuantParams,
         xq_params: QuantParams,
+        scheme: QuantScheme,
         m: usize,
         j: usize,
         k: usize,
@@ -81,6 +109,7 @@ impl GemmCache {
         self.xclip = xclip;
         self.wq_params = Some(wq_params);
         self.xq_params = Some(xq_params);
+        self.scheme = scheme;
         self.m = m;
         self.j = j;
         self.k = k;
@@ -194,7 +223,16 @@ fn gemm_forward(
         for (r, (out_row, acc_row)) in chunk.chunks_mut(j).zip(acc.chunks(j)).enumerate() {
             let mi = mi0 + r;
             for (ji, (o, &a)) in out_row.iter_mut().zip(acc_row).enumerate() {
-                *o = dequantize_dot(&wq_params, &xq_params, a, sum_w[ji], sum_x[mi], k) + bias[ji];
+                *o = match cache.scheme {
+                    QuantScheme::Unsigned => {
+                        dequantize_dot(&wq_params, &xq_params, a, sum_w[ji], sum_x[mi], k)
+                    }
+                    // Offset LUT entries already fold in the operand zero
+                    // points; only the per-term 2^(2B-1) offset remains.
+                    QuantScheme::SignedOffset => {
+                        dequantize_dot_offset(&wq_params, &xq_params, a, k)
+                    }
+                } + bias[ji];
             }
         }
     });
@@ -235,8 +273,15 @@ fn gemm_backward(
     let gx_table = grads.wrt_x_table().as_slice();
     let wq_params = cache.wq_params.expect("cache populated");
     let xq_params = cache.xq_params.expect("cache populated");
-    let zw = wq_params.zero_point as f32;
-    let zx = xq_params.zero_point as f32;
+    // Eq. 9's `- Z` terms correct for the affine zero points of unsigned
+    // codes. Signed gradient tables are built in *value* space (the STE
+    // tables subtract 2^(B-1); the difference family differentiates the
+    // stored row, where the additive offsets cancel), so no zero-point
+    // correction applies there.
+    let (zw, zx) = match cache.scheme {
+        QuantScheme::Unsigned => (wq_params.zero_point as f32, xq_params.zero_point as f32),
+        QuantScheme::SignedOffset => (0.0, 0.0),
+    };
     let sw = wq_params.scale;
     let sx = xq_params.scale;
     let gd = g.as_slice();
@@ -333,6 +378,7 @@ pub struct ApproxConv2d {
     lut: Arc<MultiplierLut>,
     grads: Arc<GradientLut>,
     observer: Observer,
+    scheme: QuantScheme,
     cache: GemmCache,
     kernel: Kernel,
     input_hw: (usize, usize, usize),
@@ -405,6 +451,7 @@ impl ApproxConv2d {
             lut,
             grads,
             observer: Observer::new(config.ema_momentum),
+            scheme: config.scheme,
             cache: GemmCache::default(),
             kernel: Kernel::global(),
             input_hw: (0, 0, 0),
@@ -479,9 +526,10 @@ impl Module for ApproxConv2d {
                 obs.counter_add("observer.rejections", rejected as u64);
             }
         }
-        let xq_params = self.observer.quant_params(bits);
+        let (xlo, xhi) = self.observer.range().expect("observer has seen no data");
+        let xq_params = scheme_params(self.scheme, xlo, xhi, bits);
         let (wlo, whi) = self.weight.value.min_max();
-        let wq_params = QuantParams::from_range(wlo, whi, bits);
+        let wq_params = scheme_params(self.scheme, wlo, whi, bits);
 
         let cols = im2col(input, &self.spec);
         let (xq, xclip) = quantize_slice(cols.as_slice(), &xq_params);
@@ -495,6 +543,7 @@ impl Module for ApproxConv2d {
             xclip,
             wq_params,
             xq_params,
+            self.scheme,
             n * oh * ow,
             self.spec.out_channels,
             k,
@@ -550,6 +599,7 @@ pub struct ApproxLinear {
     lut: Arc<MultiplierLut>,
     grads: Arc<GradientLut>,
     observer: Observer,
+    scheme: QuantScheme,
     cache: GemmCache,
     kernel: Kernel,
 }
@@ -595,6 +645,7 @@ impl ApproxLinear {
             lut,
             grads,
             observer: Observer::new(config.ema_momentum),
+            scheme: config.scheme,
             cache: GemmCache::default(),
             kernel: Kernel::global(),
         }
@@ -657,9 +708,10 @@ impl Module for ApproxLinear {
                 obs.counter_add("observer.rejections", rejected as u64);
             }
         }
-        let xq_params = self.observer.quant_params(bits);
+        let (xlo, xhi) = self.observer.range().expect("observer has seen no data");
+        let xq_params = scheme_params(self.scheme, xlo, xhi, bits);
         let (wlo, whi) = self.weight.value.min_max();
-        let wq_params = QuantParams::from_range(wlo, whi, bits);
+        let wq_params = scheme_params(self.scheme, wlo, whi, bits);
         let (xq, xclip) = quantize_slice(input.as_slice(), &xq_params);
         let (wq, wclip) = quantize_slice(self.weight.value.as_slice(), &wq_params);
         self.cache.update(
@@ -669,6 +721,7 @@ impl Module for ApproxLinear {
             xclip,
             wq_params,
             xq_params,
+            self.scheme,
             input.shape()[0],
             self.out_features(),
             self.in_features(),
@@ -835,7 +888,10 @@ mod tests {
             Tensor::zeros(&[2]),
             lut,
             grads,
-            QuantConfig { ema_momentum: 0.01 },
+            QuantConfig {
+                ema_momentum: 0.01,
+                ..QuantConfig::default()
+            },
         );
         let small = ramp(&[4, 3], 0.5);
         approx.forward(&small, true); // calibrate on small range
@@ -891,11 +947,21 @@ mod tests {
             wrt_w: Arc::new((0..n).map(|i| (i % 7) as f32 * 0.25).collect()),
             wrt_x: Arc::new((0..n).map(|i| (i % 5) as f32 * 0.5).collect()),
         };
+        let marg: Vec<f64> = {
+            let n = 1usize << lut.bits();
+            let total = (n * (n + 1) / 2) as f64;
+            (0..n).map(|i| (i + 1) as f64 / total).collect()
+        };
         let modes = [
             GradientMode::Ste,
             GradientMode::difference_based(8),
             GradientMode::RawDifference,
             GradientMode::DifferenceEdgeClamped { hws: 8 },
+            GradientMode::difference_kernel(8, crate::SmoothingKernel::Triangular),
+            GradientMode::difference_kernel(8, crate::SmoothingKernel::Gaussian),
+            GradientMode::least_squares(4),
+            GradientMode::marginal_weighted(8, marg.clone(), marg),
+            GradientMode::Surrogate,
             custom,
         ];
         let (m, j, k) = (2usize, 3usize, 4usize);
@@ -969,6 +1035,195 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    fn signed_exact8() -> Arc<MultiplierLut> {
+        use appmult_mult::SignMagnitudeMultiplier;
+        Arc::new(SignMagnitudeMultiplier::new(ExactMultiplier::new(8)).to_offset_lut())
+    }
+
+    #[test]
+    fn signed_exact_lut_linear_tracks_float_linear() {
+        // The signed offset path with the exact multiplier must reproduce a
+        // float linear layer to within quantization error — including
+        // negative weights and activations, which the unsigned scheme only
+        // reaches through its affine zero point.
+        let lut = signed_exact8();
+        let grads = Arc::new(GradientLut::build_signed(&lut, GradientMode::Ste));
+        let mut fl = Linear::new(6, 4, 3);
+        let mut approx = ApproxLinear::with_params(
+            Tensor::zeros(&[4, 6]),
+            Tensor::zeros(&[4]),
+            lut,
+            grads,
+            QuantConfig::signed(),
+        );
+        let mut weights = vec![];
+        fl.visit_params(&mut |p| weights.push(p.value.clone()));
+        approx.visit_params(&mut |p| {
+            p.value = weights.remove(0);
+        });
+        let x = ramp(&[3, 6], 2.0); // spans negative and positive values
+        let yf = fl.forward(&x, true);
+        let ya = approx.forward(&x, true);
+        for (a, b) in ya.as_slice().iter().zip(yf.as_slice()) {
+            assert!((a - b).abs() < 0.05, "approx {a} vs float {b}");
+        }
+    }
+
+    #[test]
+    fn signed_exact_lut_conv_tracks_float_conv() {
+        let lut = signed_exact8();
+        let grads = Arc::new(GradientLut::build_signed(&lut, GradientMode::Ste));
+        let mut float_conv = Conv2d::new(2, 3, 3, 1, 1, 11);
+        let weight = float_conv.weight().value.clone();
+        let spec = *float_conv.spec();
+        let mut approx = ApproxConv2d::with_params(
+            spec,
+            weight,
+            Tensor::zeros(&[3]),
+            lut,
+            grads,
+            QuantConfig::signed(),
+        );
+        let x = ramp(&[1, 2, 6, 6], 1.0);
+        let yf = float_conv.forward(&x, true);
+        let ya = approx.forward(&x, true);
+        let (_, hi) = yf.min_max();
+        for (a, b) in ya.as_slice().iter().zip(yf.as_slice()) {
+            assert!(
+                (a - b).abs() < 0.05 * hi.abs().max(1.0),
+                "approx {a} vs float {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn approx_linear_signed_gradcheck_under_every_gradient_mode() {
+        // The signed mirror of the sweep above: offset-binary codes from a
+        // sign-magnitude truncated multiplier, gradient tables built under
+        // the SignedOffset scheme, and the Eq. 9 sums evaluated with *no*
+        // zero-point correction (the offsets are folded into the tables).
+        use appmult_mult::SignMagnitudeMultiplier;
+        let lut =
+            Arc::new(SignMagnitudeMultiplier::new(TruncatedMultiplier::new(8, 6)).to_offset_lut());
+        let marg: Vec<f64> = {
+            let n = 1usize << lut.bits();
+            let total = (n * (n + 1) / 2) as f64;
+            (0..n).map(|i| (i + 1) as f64 / total).collect()
+        };
+        let modes = [
+            GradientMode::Ste,
+            GradientMode::difference_based(8),
+            GradientMode::RawDifference,
+            GradientMode::DifferenceEdgeClamped { hws: 8 },
+            GradientMode::difference_kernel(8, crate::SmoothingKernel::Triangular),
+            GradientMode::difference_kernel(8, crate::SmoothingKernel::Gaussian),
+            GradientMode::least_squares(4),
+            GradientMode::marginal_weighted(8, marg.clone(), marg),
+            GradientMode::Surrogate,
+        ];
+        let (m, j, k) = (2usize, 3usize, 4usize);
+        let kernels = [Kernel::Naive, Kernel::tiled_default()];
+        for (mode, kernel) in modes
+            .iter()
+            .flat_map(|mo| kernels.iter().map(move |ke| (mo.clone(), *ke)))
+        {
+            let label = format!("signed {}/{}", mode.label(), kernel.label());
+            let grads = Arc::new(GradientLut::build_signed(&lut, mode));
+            let mut layer = ApproxLinear::with_params(
+                ramp(&[j, k], 1.1),
+                Tensor::zeros(&[j]),
+                lut.clone(),
+                grads.clone(),
+                QuantConfig::signed(),
+            );
+            layer.set_kernel(kernel);
+            let x = ramp(&[m, k], 1.6);
+            layer.forward(&x, true);
+            let g = ramp(&[m, j], 0.9);
+            let dx = layer.backward(&g);
+
+            let c = &layer.cache;
+            let wqp = c.wq_params.expect("populated");
+            let xqp = c.xq_params.expect("populated");
+            assert_eq!(wqp.zero_point, 128, "{label}: signed weight zero point");
+            assert_eq!(xqp.zero_point, 128, "{label}: signed activation zero point");
+            // dX: dL/dx[mi][kk] = sum_j g * s_w * gX(w, x), gated by Q'(x).
+            for mi in 0..m {
+                for kk in 0..k {
+                    let mut expect = 0.0f32;
+                    for ji in 0..j {
+                        let iw = u32::from(c.wq[ji * k + kk]);
+                        let ix = u32::from(c.xq[mi * k + kk]);
+                        expect += g.at(&[mi, ji]) * wqp.scale * grads.wrt_x(iw, ix);
+                    }
+                    if !c.xclip[mi * k + kk] {
+                        expect = 0.0;
+                    }
+                    let got = dx.at(&[mi, kk]);
+                    assert!(
+                        (got - expect).abs() < 1e-4,
+                        "{label}: dX[{mi},{kk}] = {got} vs {expect}"
+                    );
+                }
+            }
+            // dW: dL/dw[ji][kk] = sum_m g * s_x * gW(w, x), gated by Q'(w).
+            for ji in 0..j {
+                for kk in 0..k {
+                    let mut expect = 0.0f32;
+                    for mi in 0..m {
+                        let iw = u32::from(c.wq[ji * k + kk]);
+                        let ix = u32::from(c.xq[mi * k + kk]);
+                        expect += g.at(&[mi, ji]) * xqp.scale * grads.wrt_w(iw, ix);
+                    }
+                    if !c.wclip[ji * k + kk] {
+                        expect = 0.0;
+                    }
+                    let got = layer.weight.grad.at(&[ji, kk]);
+                    assert!(
+                        (got - expect).abs() < 1e-4,
+                        "{label}: dW[{ji},{kk}] = {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_ste_backward_matches_fakequant_reference() {
+        // Under signed STE, dL/dw reduces to sum_m g * s_x (X - 128) =
+        // sum_m g * xhat — the same fake-quant reference as the unsigned
+        // test, reached through an entirely different dequantization.
+        let lut = signed_exact8();
+        let grads = Arc::new(GradientLut::build_signed(&lut, GradientMode::Ste));
+        let mut approx = ApproxLinear::with_params(
+            ramp(&[2, 3], 1.0),
+            Tensor::zeros(&[2]),
+            lut,
+            grads,
+            QuantConfig::signed(),
+        );
+        let x = ramp(&[4, 3], 1.5);
+        approx.forward(&x, true);
+        let g = ramp(&[4, 2], 0.7);
+        approx.backward(&g);
+
+        let xq = approx.cache.xq_params.expect("populated");
+        let mut expect = vec![0.0f32; 2 * 3];
+        for m in 0..4 {
+            for j in 0..2 {
+                for k in 0..3 {
+                    let code = approx.cache.xq[m * 3 + k];
+                    expect[j * 3 + k] += g.at(&[m, j]) * xq.dequantize(code.into());
+                }
+            }
+        }
+        let mut got = vec![];
+        approx.visit_params(&mut |p| got.push(p.grad.clone()));
+        for (a, b) in got[0].as_slice().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
 

@@ -49,7 +49,7 @@ pub use hws::{
     candidates_for_bits, select_hws, HwsError, HwsSelection, HwsTrial, PAPER_HWS_CANDIDATES,
 };
 pub use layers::{ApproxConv2d, ApproxLinear, QuantConfig};
-pub use quant::{dequantize_dot, Observer, QuantParams};
+pub use quant::{dequantize_dot, dequantize_dot_offset, Observer, QuantParams, QuantScheme};
 pub use resilience::ResiliencePolicy;
 pub use retrainer::{evaluate, retrain, Batch, EpochStats, RetrainConfig, RetrainHistory};
-pub use smoothing::smooth_row;
+pub use smoothing::{smooth_row, smooth_row_kernel, weighted_smooth_row, SmoothingKernel};

@@ -21,6 +21,35 @@
 
 use appmult_nn::Tensor;
 
+/// How float values map onto the unsigned `B`-bit codes the multiplier
+/// LUTs consume.
+///
+/// The paper's path is [`QuantScheme::Unsigned`]: asymmetric affine codes
+/// whose value is `s (Q - Z)`. The signed int8 path of ApproxTrain-style
+/// retraining is [`QuantScheme::SignedOffset`]: symmetric codes with the
+/// fixed zero point `2^(B-1)` (offset binary, i.e. two's complement with
+/// the sign bit flipped), consumed by `SignMagnitudeMultiplier`'s offset
+/// LUT whose entries store `product + 2^(2B-1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantScheme {
+    /// Uniform asymmetric unsigned quantization (Eqs. 7-8).
+    #[default]
+    Unsigned,
+    /// Symmetric signed quantization in offset-binary codes, paired with
+    /// offset-product LUTs (`SignMagnitudeMultiplier::to_offset_lut`).
+    SignedOffset,
+}
+
+impl QuantScheme {
+    /// Stable identifier used in reports (`"unsigned"` / `"signed"`).
+    pub fn key(self) -> &'static str {
+        match self {
+            QuantScheme::Unsigned => "unsigned",
+            QuantScheme::SignedOffset => "signed",
+        }
+    }
+}
+
 /// Scale and zero point of one uniform asymmetric quantizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantParams {
@@ -53,6 +82,31 @@ impl QuantParams {
         Self {
             scale,
             zero_point,
+            bits,
+        }
+    }
+
+    /// Derives symmetric signed parameters covering `[-max_abs, max_abs]`
+    /// in offset-binary codes: the zero point is pinned to `2^(B-1)` and
+    /// the scale spans the magnitude range, so code `Q` represents
+    /// `s (Q - 2^(B-1))` with the full negative reach of two's complement
+    /// left unused (codes are symmetric in `+/-(2^(B-1) - 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_abs` is non-finite or negative, or `bits` is not in
+    /// `2..=10`.
+    pub fn signed_symmetric(max_abs: f32, bits: u32) -> Self {
+        assert!(
+            max_abs.is_finite() && max_abs >= 0.0,
+            "max_abs must be finite and non-negative"
+        );
+        assert!((2..=10).contains(&bits), "bits must be in 2..=10");
+        let half = 1i32 << (bits - 1);
+        let scale = (max_abs / (half - 1) as f32).max(1e-10);
+        Self {
+            scale,
+            zero_point: half,
             bits,
         }
     }
@@ -106,6 +160,23 @@ pub fn dequantize_dot(
     let zw = i64::from(wq.zero_point);
     let zx = i64::from(xq.zero_point);
     let acc = sum_y - zx * sum_w - zw * sum_x + (count as i64) * zw * zx;
+    wq.scale * xq.scale * acc as f32
+}
+
+/// Dequantization of an accumulated *offset-binary* dot product of
+/// `count` terms: each LUT entry stores
+/// `(W - 2^(B-1))(X - 2^(B-1)) + 2^(2B-1)`, so the true signed sum is
+/// recovered by subtracting the constant offset once per term:
+///
+/// `y = s_w s_x (sum_Y - count * 2^(2B-1))`.
+///
+/// Unlike [`dequantize_dot`], no `sum_W`/`sum_X` correction appears — the
+/// operand zero points are already folded into the stored products.
+#[inline]
+pub fn dequantize_dot_offset(wq: &QuantParams, xq: &QuantParams, sum_y: i64, count: usize) -> f32 {
+    debug_assert_eq!(wq.bits, xq.bits, "operand widths must match");
+    let offset = 1i64 << (2 * wq.bits - 1);
+    let acc = sum_y - (count as i64) * offset;
     wq.scale * xq.scale * acc as f32
 }
 
@@ -250,6 +321,55 @@ mod tests {
         }
         let got = dequantize_dot(&wq, &xq, sum_y, sum_w, sum_x, ws.len());
         assert!((got - reference).abs() < 1e-5, "{got} vs {reference}");
+    }
+
+    #[test]
+    fn signed_symmetric_pins_the_zero_point() {
+        let q = QuantParams::signed_symmetric(1.27, 8);
+        assert_eq!(q.zero_point, 128);
+        assert_eq!(q.quantize(0.0), 128);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+        // Symmetric reach: +/- max_abs hit codes 255 and 1.
+        assert_eq!(q.quantize(1.27), 255);
+        assert_eq!(q.quantize(-1.27), 1);
+        assert!((q.dequantize(255) - 1.27).abs() < 1e-6);
+        assert!((q.dequantize(1) + 1.27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn signed_symmetric_degenerate_range_does_not_blow_up() {
+        let q = QuantParams::signed_symmetric(0.0, 8);
+        assert!(q.scale > 0.0);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn dequantize_dot_offset_matches_elementwise() {
+        // Offset-binary dot product dequantized in one shot must equal the
+        // sum of per-term signed dequantized products when the multiplier
+        // is exact: stored = (W - 128)(X - 128) + 2^15.
+        let wq = QuantParams::signed_symmetric(0.9, 8);
+        let xq = QuantParams::signed_symmetric(2.0, 8);
+        let ws = [-0.5f32, 0.3, 0.88];
+        let xs = [1.5f32, -0.2, 0.7];
+        let offset = 1i64 << 15;
+        let mut sum_y = 0i64;
+        let mut reference = 0.0f32;
+        for (w, x) in ws.iter().zip(&xs) {
+            let cw = i64::from(wq.quantize(*w));
+            let cx = i64::from(xq.quantize(*x));
+            sum_y += (cw - 128) * (cx - 128) + offset;
+            reference += wq.dequantize(cw as u32) * xq.dequantize(cx as u32);
+        }
+        let got = dequantize_dot_offset(&wq, &xq, sum_y, ws.len());
+        assert!((got - reference).abs() < 1e-5, "{got} vs {reference}");
+    }
+
+    #[test]
+    fn scheme_keys_are_stable() {
+        assert_eq!(QuantScheme::Unsigned.key(), "unsigned");
+        assert_eq!(QuantScheme::SignedOffset.key(), "signed");
+        assert_eq!(QuantScheme::default(), QuantScheme::Unsigned);
     }
 
     #[test]

@@ -11,6 +11,61 @@
 //!
 //! defined for `HWS <= X <= 2^B - 1 - HWS` (the window must stay inside the
 //! operand range).
+//!
+//! The journal extension generalizes the box average into a family of
+//! smoothing kernels ([`SmoothingKernel`]): box, triangular, and
+//! discrete-Gaussian weights over the same window, plus an
+//! input-distribution-weighted variant ([`weighted_smooth_row`]) that
+//! emphasizes operand values the network actually produces.
+
+/// Weight profile of the Eq. 4 smoothing window.
+///
+/// Every kernel is symmetric, strictly positive over `dx in [-HWS, HWS]`,
+/// and normalized to sum 1, so constant rows are a fixed point and linear
+/// rows stay linear under all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmoothingKernel {
+    /// Uniform weights — the DATE paper's moving average (Eq. 4).
+    Box,
+    /// Triangular taper: weight `HWS + 1 - |dx|`, the linear B-spline.
+    Triangular,
+    /// Discrete Gaussian with `sigma = HWS / 2`, truncated to the window.
+    Gaussian,
+}
+
+impl SmoothingKernel {
+    /// Stable identifier usable as a JSON key (`box` / `tri` / `gauss`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            SmoothingKernel::Box => "box",
+            SmoothingKernel::Triangular => "tri",
+            SmoothingKernel::Gaussian => "gauss",
+        }
+    }
+
+    /// The window weights for half window size `hws`, normalized to sum 1,
+    /// indexed by `dx + hws` for `dx in [-hws, hws]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hws == 0`.
+    pub fn weights(&self, hws: u32) -> Vec<f64> {
+        assert!(hws >= 1, "half window size must be positive");
+        let h = hws as i64;
+        let raw: Vec<f64> = (-h..=h)
+            .map(|dx| match self {
+                SmoothingKernel::Box => 1.0,
+                SmoothingKernel::Triangular => (h + 1 - dx.abs()) as f64,
+                SmoothingKernel::Gaussian => {
+                    let sigma = f64::from(hws) / 2.0;
+                    (-0.5 * (dx as f64 / sigma).powi(2)).exp()
+                }
+            })
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / sum).collect()
+    }
+}
 
 /// The smoothed slice `S(W_f, ·)` of one AppMult row (Eq. 4).
 ///
@@ -58,6 +113,92 @@ pub fn smooth_row(row: &[u32], hws: u32) -> Vec<Option<f64>> {
     for x in hws + 1..n - hws {
         acc += f64::from(row[x + hws]) - f64::from(row[x - hws - 1]);
         out[x] = Some(acc * inv);
+    }
+    out
+}
+
+/// Kernel-weighted Eq. 4 smoothing: like [`smooth_row`] but with the
+/// window weights of `kernel` instead of the uniform box average.
+///
+/// [`SmoothingKernel::Box`] delegates to [`smooth_row`] so the box kernel
+/// is *bit-identical* to the DATE paper's sliding-window implementation
+/// (the golden fig3 series and the `DifferenceBased` gradient tables
+/// depend on that exact accumulation order).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`smooth_row`].
+pub fn smooth_row_kernel(row: &[u32], hws: u32, kernel: SmoothingKernel) -> Vec<Option<f64>> {
+    if kernel == SmoothingKernel::Box {
+        return smooth_row(row, hws);
+    }
+    assert!(
+        !row.is_empty() && row.len().is_power_of_two(),
+        "row length must be 2^B"
+    );
+    let n = row.len();
+    let h = hws as usize;
+    let mut out = vec![None; n];
+    if 2 * h + 1 > n {
+        return out;
+    }
+    let weights = kernel.weights(hws);
+    for x in h..n - h {
+        let s: f64 = weights
+            .iter()
+            .zip(&row[x - h..=x + h])
+            .map(|(&w, &v)| w * f64::from(v))
+            .sum();
+        out[x] = Some(s);
+    }
+    out
+}
+
+/// Input-distribution-weighted Eq. 4 smoothing: each neighbour `X + dx`
+/// is weighted by its operand marginal `probs[X + dx]` and the window is
+/// renormalized, so operand values the network actually produces dominate
+/// the average. A window whose total probability mass is zero falls back
+/// to the uniform box average (the estimator must stay defined on operand
+/// values the profile never saw).
+///
+/// # Panics
+///
+/// Panics if `probs.len() != row.len()`, if any probability is negative
+/// or non-finite, or under the [`smooth_row`] domain conditions.
+pub fn weighted_smooth_row(row: &[u32], hws: u32, probs: &[f64]) -> Vec<Option<f64>> {
+    assert!(
+        !row.is_empty() && row.len().is_power_of_two(),
+        "row length must be 2^B"
+    );
+    assert!(hws >= 1, "half window size must be positive");
+    assert_eq!(probs.len(), row.len(), "marginal length must be 2^B");
+    assert!(
+        probs.iter().all(|p| p.is_finite() && *p >= 0.0),
+        "marginals must be finite and non-negative"
+    );
+    let n = row.len();
+    let h = hws as usize;
+    let mut out = vec![None; n];
+    if 2 * h + 1 > n {
+        return out;
+    }
+    for x in h..n - h {
+        let mass: f64 = probs[x - h..=x + h].iter().sum();
+        let s = if mass > 0.0 {
+            probs[x - h..=x + h]
+                .iter()
+                .zip(&row[x - h..=x + h])
+                .map(|(&p, &v)| p * f64::from(v))
+                .sum::<f64>()
+                / mass
+        } else {
+            row[x - h..=x + h]
+                .iter()
+                .map(|&v| f64::from(v))
+                .sum::<f64>()
+                / (2 * h + 1) as f64
+        };
+        out[x] = Some(s);
     }
     out
 }
@@ -134,5 +275,105 @@ mod tests {
     #[should_panic(expected = "row length must be 2^B")]
     fn rejects_non_power_of_two() {
         smooth_row(&[1, 2, 3], 1);
+    }
+
+    #[test]
+    fn kernel_weights_are_normalized_and_symmetric() {
+        for kernel in [
+            SmoothingKernel::Box,
+            SmoothingKernel::Triangular,
+            SmoothingKernel::Gaussian,
+        ] {
+            for hws in 1..=6u32 {
+                let w = kernel.weights(hws);
+                assert_eq!(w.len(), 2 * hws as usize + 1);
+                assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+                for i in 0..w.len() {
+                    assert!(w[i] > 0.0, "{kernel:?} hws={hws} i={i}");
+                    assert!(
+                        (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                        "{kernel:?} hws={hws} asymmetric at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_kernel_is_bit_identical_to_smooth_row() {
+        let row: Vec<u32> = (0..64).map(|x| (x * x * 13 + 5) % 401).collect();
+        for hws in [1u32, 3, 7] {
+            let a = smooth_row(&row, hws);
+            let b = smooth_row_kernel(&row, hws, SmoothingKernel::Box);
+            let bits = |v: &[Option<f64>]| -> Vec<Option<u64>> {
+                v.iter().map(|o| o.map(f64::to_bits)).collect()
+            };
+            assert_eq!(bits(&a), bits(&b), "hws={hws}");
+        }
+    }
+
+    #[test]
+    fn triangular_and_gaussian_peak_on_the_center() {
+        for kernel in [SmoothingKernel::Triangular, SmoothingKernel::Gaussian] {
+            let w = kernel.weights(4);
+            let center = w[4];
+            for (i, &v) in w.iter().enumerate() {
+                assert!(v <= center + 1e-15, "{kernel:?} i={i}");
+            }
+            assert!(w[0] < center, "{kernel:?} tails must taper");
+        }
+    }
+
+    #[test]
+    fn every_kernel_preserves_linear_rows() {
+        let row: Vec<u32> = (0..64).map(|x| 7 * x + 3).collect();
+        for kernel in [
+            SmoothingKernel::Box,
+            SmoothingKernel::Triangular,
+            SmoothingKernel::Gaussian,
+        ] {
+            let s = smooth_row_kernel(&row, 4, kernel);
+            for (x, &sx) in s.iter().enumerate().take(60).skip(4) {
+                let expect = f64::from(row[x]);
+                assert!(
+                    (sx.expect("interior") - expect).abs() < 1e-9,
+                    "{kernel:?} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_marginals_reduce_to_the_box_average() {
+        let row: Vec<u32> = (0..32).map(|x| (x * 11 + 2) % 57).collect();
+        let probs = vec![1.0 / 32.0; 32];
+        let weighted = weighted_smooth_row(&row, 3, &probs);
+        let boxed = smooth_row(&row, 3);
+        for (x, (a, b)) in weighted.iter().zip(&boxed).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "x={x}"),
+                (None, None) => {}
+                other => panic!("domain mismatch at {x}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_mass_window_falls_back_to_the_box_average() {
+        let row: Vec<u32> = (0..16).map(|x| x * x).collect();
+        // All probability mass far to the right: early windows are empty.
+        let mut probs = vec![0.0f64; 16];
+        probs[15] = 1.0;
+        let weighted = weighted_smooth_row(&row, 2, &probs);
+        let boxed = smooth_row(&row, 2);
+        assert_eq!(weighted[2], boxed[2], "empty-mass window uses Eq. 4");
+        // A window containing index 15 is dominated by it entirely.
+        assert!((weighted[13].expect("interior") - f64::from(row[15])).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "marginal length")]
+    fn weighted_rejects_marginal_length_mismatch() {
+        weighted_smooth_row(&[1, 2, 3, 4], 1, &[0.5, 0.5]);
     }
 }

@@ -6,7 +6,9 @@
 //! direct draws from the `Rng64` stream, which the harness does not model.
 
 use appmult_mult::{ExactMultiplier, Multiplier, TruncatedMultiplier};
-use appmult_retrain::{smooth_row, GradientLut, GradientMode, QuantParams};
+use appmult_retrain::{
+    smooth_row, smooth_row_kernel, GradientLut, GradientMode, QuantParams, SmoothingKernel,
+};
 use appmult_rng::{prop, Rng64};
 
 const CASES: usize = 128;
@@ -193,4 +195,112 @@ fn truncated_gradients_nonnegative() {
         let g = GradientLut::build(&lut, GradientMode::difference_based(hws));
         (0..64u32).all(|w| (0..64u32).all(|x| g.wrt_x(w, x) >= 0.0 && g.wrt_w(w, x) >= 0.0))
     });
+}
+
+/// Halves every component of a case tuple toward the origin — the shared
+/// shrinker for the `forall_with` estimator properties below.
+fn shrink_triple(t: &(u64, u64, u64)) -> Vec<(u64, u64, u64)> {
+    let (a, b, c) = *t;
+    vec![
+        (a / 2, b, c),
+        (a, b / 2, c),
+        (a, b, c / 2),
+        (0, b, c),
+        (a, 0, c),
+        (a, b, 0),
+    ]
+}
+
+/// Every smoothing kernel fixes constant rows: the normalized weighted
+/// mean of `2 HWS + 1` equal values is that value, whatever the weights.
+///
+/// Case triple: (constant value, HWS - 1, kernel index).
+#[test]
+fn kernel_smoothing_fixes_constant_rows() {
+    let kernels = [
+        SmoothingKernel::Box,
+        SmoothingKernel::Triangular,
+        SmoothingKernel::Gaussian,
+    ];
+    prop::forall_with(
+        "kernel constant fixed point",
+        0xE1,
+        CASES,
+        |rng, _| (rng.below(4096), rng.below(6), rng.below(3)),
+        shrink_triple,
+        |&(c, h, k)| {
+            let hws = 1 + h as u32;
+            let kernel = kernels[k as usize];
+            let row = vec![c as u32; 64];
+            smooth_row_kernel(&row, hws, kernel)
+                .into_iter()
+                .flatten()
+                .all(|s| (s - c as f64).abs() < 1e-9)
+        },
+    );
+}
+
+/// On exactly-linear rows (the exact multiplier: row `W` is `W · X`), the
+/// least-squares local fit recovers the slope bit-exactly, agreeing with
+/// the raw central difference everywhere both are interior.
+///
+/// Case triple: (W, X, regression window - 1).
+#[test]
+fn least_squares_matches_central_difference_on_linear_rows() {
+    let lut = ExactMultiplier::new(6).to_lut();
+    let raw = GradientLut::build(&lut, GradientMode::RawDifference);
+    let tables: Vec<GradientLut> = (1..=6)
+        .map(|w| GradientLut::build(&lut, GradientMode::least_squares(w)))
+        .collect();
+    prop::forall_with(
+        "least-squares slope == central difference on linear rows",
+        0xE2,
+        CASES,
+        |rng, _| (rng.below(64), rng.below(64), rng.below(6)),
+        shrink_triple,
+        |&(w, x, wi)| {
+            let window = 1 + wi as u32;
+            let (w, x) = (w as u32, x as u32);
+            if x < window || x + window > 63 {
+                return true; // boundary: Eq. 6 fallback, checked elsewhere
+            }
+            let lsq = &tables[wi as usize];
+            lsq.wrt_x(w, x).to_bits() == raw.wrt_x(w, x).to_bits()
+        },
+    );
+}
+
+/// Marginal-weighted smoothing with uniform operand marginals degenerates
+/// to the unweighted difference-based estimator (equal weights cancel out
+/// of the normalized mean).
+///
+/// Case triple: (removed columns K - 1, HWS - 1, unused).
+#[test]
+fn uniform_marginals_match_unweighted_difference() {
+    let cases = if cfg!(debug_assertions) { 24 } else { CASES };
+    let uniform = vec![1.0 / 64.0; 64];
+    prop::forall_with(
+        "uniform marginals == unweighted",
+        0xE3,
+        cases,
+        |rng, _| (rng.below(8), rng.below(6), 0),
+        shrink_triple,
+        |&(kk, hh, _)| {
+            let k = 1 + kk as u32;
+            let hws = 1 + hh as u32;
+            let lut = TruncatedMultiplier::new(6, k).to_lut();
+            let plain = GradientLut::build(&lut, GradientMode::difference_based(hws));
+            let weighted = GradientLut::build(
+                &lut,
+                GradientMode::marginal_weighted(hws, uniform.clone(), uniform.clone()),
+            );
+            (0..64u32).all(|w| {
+                (0..64u32).all(|x| {
+                    (f64::from(plain.wrt_x(w, x)) - f64::from(weighted.wrt_x(w, x))).abs() < 1e-4
+                        && (f64::from(plain.wrt_w(w, x)) - f64::from(weighted.wrt_w(w, x))).abs()
+                            < 1e-4
+                })
+            })
+        },
+    );
 }

@@ -1,0 +1,197 @@
+//! Schema lock for the `results/GRAD_MATRIX.json` gradient-estimator
+//! matrix report (`appmult-gradmatrix/v1`): the config header must carry
+//! the full run provenance (seed, window sizes, threads, kernel), and
+//! every cell must carry the complete record — design, scheme, estimator
+//! family, and the accuracy/gradient-error floats with their IEEE-754
+//! twins.
+
+use appmult_bench::grad_matrix_driver::{run_grad_matrix, EstimatorKind, GradMatrixConfig};
+
+/// Minimal line-oriented parse of one cell of the `appmult-gradmatrix/v1`
+/// schema.
+#[derive(Debug, Default, Clone)]
+struct CellRecord {
+    design: String,
+    scheme: String,
+    bits: u32,
+    estimator: String,
+    family: String,
+    initial_pct: f64,
+    has_initial_bits: bool,
+    final_pct: f64,
+    has_final_bits: bool,
+    grad_err: f64,
+    has_grad_err_bits: bool,
+}
+
+/// The machine-provenance header of the full document.
+#[derive(Debug, Default, Clone)]
+struct Header {
+    schema: String,
+    seed: Option<u64>,
+    hws: Option<u32>,
+    lsq_window: Option<u32>,
+    threads: Option<usize>,
+    kernel: Option<String>,
+}
+
+fn field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let prefix = format!("\"{key}\": ");
+    let rest = line.trim().strip_prefix(&prefix)?;
+    Some(rest.trim_end_matches(','))
+}
+
+fn parse(json: &str) -> (Header, Vec<CellRecord>) {
+    let mut header = Header::default();
+    let mut records: Vec<CellRecord> = Vec::new();
+    let mut current: Option<CellRecord> = None;
+    for line in json.lines() {
+        if let Some(v) = field(line, "design") {
+            records.extend(current.take());
+            current = Some(CellRecord {
+                design: v.trim_matches('"').to_string(),
+                ..CellRecord::default()
+            });
+        }
+        let Some(r) = current.as_mut() else {
+            // Still in the config header.
+            if let Some(v) = field(line, "schema") {
+                header.schema = v.trim_matches('"').to_string();
+            }
+            if let Some(v) = field(line, "seed") {
+                header.seed = v.parse().ok();
+            }
+            if let Some(v) = field(line, "hws") {
+                header.hws = v.parse().ok();
+            }
+            if let Some(v) = field(line, "lsq_window") {
+                header.lsq_window = v.parse().ok();
+            }
+            if let Some(v) = field(line, "threads") {
+                header.threads = v.parse().ok();
+            }
+            if let Some(v) = field(line, "kernel") {
+                header.kernel = Some(v.trim_matches('"').to_string());
+            }
+            continue;
+        };
+        if let Some(v) = field(line, "scheme") {
+            r.scheme = v.trim_matches('"').to_string();
+        }
+        if let Some(v) = field(line, "bits") {
+            r.bits = v.parse().expect("bits is an integer");
+        }
+        if let Some(v) = field(line, "estimator") {
+            r.estimator = v.trim_matches('"').to_string();
+        }
+        if let Some(v) = field(line, "family") {
+            r.family = v.trim_matches('"').to_string();
+        }
+        if let Some(v) = field(line, "initial_pct") {
+            r.initial_pct = v.parse().expect("initial_pct is a number");
+        }
+        if field(line, "initial_pct_bits").is_some() {
+            r.has_initial_bits = true;
+        }
+        if let Some(v) = field(line, "final_pct") {
+            r.final_pct = v.parse().expect("final_pct is a number");
+        }
+        if field(line, "final_pct_bits").is_some() {
+            r.has_final_bits = true;
+        }
+        if let Some(v) = field(line, "grad_err") {
+            r.grad_err = v.parse().expect("grad_err is a number");
+        }
+        if field(line, "grad_err_bits").is_some() {
+            r.has_grad_err_bits = true;
+        }
+    }
+    records.extend(current);
+    (header, records)
+}
+
+#[test]
+fn grad_matrix_report_meets_the_schema_contract() {
+    // A deliberately small run: the schema shape is identical at every
+    // scale, and tier-1 runs this in debug.
+    let mut cfg = GradMatrixConfig::smoke(1);
+    cfg.pretrain_epochs = 1;
+    cfg.retrain_epochs = 1;
+    cfg.estimators = vec![EstimatorKind::Ste, EstimatorKind::Diff, EstimatorKind::Lsq];
+    let outcome = run_grad_matrix(&cfg);
+
+    // Persist the same artefact the grad_matrix binary writes, so the
+    // assertions below genuinely go through the serialized report.
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/GRAD_MATRIX.json", &outcome.json).expect("write GRAD_MATRIX.json");
+    let json = std::fs::read_to_string("results/GRAD_MATRIX.json").expect("read GRAD_MATRIX.json");
+
+    assert!(json.contains("\"schema\": \"appmult-gradmatrix/v1\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+    let (header, records) = parse(&json);
+    assert_eq!(header.schema, "appmult-gradmatrix/v1");
+    assert_eq!(header.seed, Some(cfg.seed));
+    assert_eq!(header.hws, Some(cfg.hws));
+    assert_eq!(header.lsq_window, Some(cfg.lsq_window));
+    let threads = header.threads.expect("config header carries threads");
+    assert!(threads >= 1);
+    assert!(
+        !header
+            .kernel
+            .expect("config header carries kernel")
+            .is_empty(),
+        "kernel label must be recorded"
+    );
+
+    assert_eq!(
+        records.len(),
+        cfg.designs.len() * cfg.estimators.len(),
+        "one record per (design, estimator) cell"
+    );
+    let mut seen_signed = false;
+    for r in &records {
+        assert!(!r.design.is_empty(), "{r:?}");
+        assert!(r.scheme == "unsigned" || r.scheme == "signed", "{r:?}");
+        assert!(r.bits == 7 || r.bits == 8, "{r:?}");
+        assert!(
+            r.family == "ste" || r.family == "difference" || r.family == "surrogate",
+            "{r:?}"
+        );
+        assert!(!r.estimator.is_empty(), "{r:?}");
+        assert!((0.0..=100.0).contains(&r.initial_pct), "{r:?}");
+        assert!((0.0..=100.0).contains(&r.final_pct), "{r:?}");
+        assert!(r.grad_err >= 0.0 && r.grad_err.is_finite(), "{r:?}");
+        assert!(
+            r.has_initial_bits && r.has_final_bits && r.has_grad_err_bits,
+            "{r:?}"
+        );
+        seen_signed |= r.scheme == "signed";
+    }
+    assert!(seen_signed, "the default grid must include a signed design");
+
+    // Every requested estimator appears for every design.
+    for d in &cfg.designs {
+        for &e in &cfg.estimators {
+            let key = e.mode(&cfg, d.lut.bits()).key();
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.design == d.name && r.estimator == key),
+                "missing cell {} x {key}",
+                d.name
+            );
+        }
+    }
+
+    // The grid document shares the same cells, minus the machine header.
+    assert!(outcome
+        .grid_json
+        .contains("\"schema\": \"appmult-gradmatrix/v1\""));
+    assert!(!outcome.grid_json.contains("\"threads\""));
+    assert!(!outcome.grid_json.contains("\"kernel\""));
+    for r in &records {
+        assert!(outcome.grid_json.contains(&r.design), "{}", r.design);
+    }
+}
